@@ -1,0 +1,65 @@
+// Command cosma multiplies two random matrices with COSMA on the
+// simulated distributed machine and reports the decomposition and the
+// measured communication against the Theorem 2 lower bound.
+//
+// Usage:
+//
+//	cosma -m 512 -n 512 -k 512 -p 16 -S 1048576 [-algo cosma|summa|2.5d|carma|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cosma"
+	"cosma/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosma: ")
+	m := flag.Int("m", 512, "rows of A and C")
+	n := flag.Int("n", 512, "columns of B and C")
+	k := flag.Int("k", 512, "columns of A / rows of B")
+	p := flag.Int("p", 16, "number of simulated processors")
+	s := flag.Int("S", 1<<20, "local memory per processor in words")
+	algoName := flag.String("algo", "cosma", "algorithm: cosma, summa, 2.5d, carma or all")
+	seed := flag.Int64("seed", 1, "random seed for the input matrices")
+	flag.Parse()
+
+	a := cosma.RandomMatrix(*m, *k, *seed)
+	b := cosma.RandomMatrix(*k, *n, *seed+1)
+
+	plan := cosma.Plan(*m, *n, *k, *p, *s, 0)
+	fmt.Printf("plan: %v\n", plan)
+	fmt.Printf("Theorem 2 lower bound: %.0f words/rank\n\n",
+		cosma.ParallelLowerBound(*m, *n, *k, *p, *s))
+
+	t := report.NewTable("measured communication",
+		"algorithm", "grid", "ranks used", "avg recv words/rank", "max recv", "max msgs", "model words/rank")
+	for _, r := range cosma.Algorithms() {
+		name := strings.ToLower(r.Name())
+		match := *algoName == "all" ||
+			(*algoName == "cosma" && strings.Contains(name, "cosma")) ||
+			(*algoName == "summa" && strings.Contains(name, "summa")) ||
+			(*algoName == "2.5d" && strings.Contains(name, "2.5d")) ||
+			(*algoName == "carma" && strings.Contains(name, "carma"))
+		if !match {
+			continue
+		}
+		_, rep, err := r.Run(a, b, *p, *s)
+		if err != nil {
+			log.Printf("%s: %v", r.Name(), err)
+			continue
+		}
+		t.AddRow(rep.Name, rep.Grid, rep.Used, rep.AvgRecv, rep.MaxRecv, rep.MaxMsgs, rep.Model.AvgRecv)
+	}
+	if t.Rows() == 0 {
+		log.Print("no algorithm matched or ran; see -algo")
+		os.Exit(1)
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,110 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate. With no arguments it prints everything; pass
+// subcommand names to select individual experiments:
+//
+//	experiments [table1] [fig3] [seqio] [fig5] [table3] [fig6] [fig7]
+//	            [fig8] [fig9] [fig10] [fig11] [fig12] [fig13] [table4]
+//	            [unfavorable] [validate]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cosma/internal/experiments"
+	"cosma/internal/report"
+	"cosma/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	all := []string{
+		"table1", "fig3", "seqio", "fig5", "table3", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table4",
+		"unfavorable", "validate", "iolatency", "delta", "step",
+	}
+	want := os.Args[1:]
+	if len(want) == 0 {
+		want = all
+	}
+	known := make(map[string]bool, len(all))
+	for _, name := range all {
+		known[name] = true
+	}
+	for _, name := range want {
+		if !known[name] {
+			log.Fatalf("unknown experiment %q; available: %v", name, all)
+		}
+		run(name)
+	}
+}
+
+func print(tables ...*report.Table) {
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+}
+
+func run(name string) {
+	shapes := []workload.Shape{workload.Square, workload.LargeK, workload.LargeM, workload.Flat}
+	regimes := []workload.Regime{workload.StrongScaling, workload.LimitedMemory, workload.ExtraMemory}
+	switch name {
+	case "table1":
+		print(experiments.Table1())
+	case "fig3":
+		print(experiments.Fig3())
+	case "seqio":
+		print(experiments.SeqIO())
+	case "fig5":
+		print(experiments.Fig5())
+	case "table3":
+		print(experiments.Table3()...)
+	case "fig6":
+		for _, r := range regimes {
+			print(experiments.CommVolume(workload.Square, r))
+		}
+	case "fig7":
+		for _, r := range regimes {
+			print(experiments.CommVolume(workload.LargeK, r))
+		}
+		// The symmetric largeM and the flat cases of Table 4's sweep.
+		print(experiments.CommVolume(workload.LargeM, workload.StrongScaling))
+		print(experiments.CommVolume(workload.Flat, workload.StrongScaling))
+	case "fig8":
+		for _, r := range regimes {
+			print(experiments.PctPeak(workload.Square, r))
+		}
+	case "fig9":
+		for _, r := range regimes {
+			print(experiments.Runtime(workload.Square, r))
+		}
+	case "fig10":
+		for _, r := range regimes {
+			print(experiments.PctPeak(workload.LargeK, r))
+		}
+	case "fig11":
+		for _, r := range regimes {
+			print(experiments.Runtime(workload.LargeK, r))
+		}
+	case "fig12":
+		print(experiments.Fig12())
+	case "fig13":
+		print(experiments.Fig13())
+	case "table4":
+		print(experiments.Table4())
+	case "unfavorable":
+		print(experiments.Unfavorable())
+	case "validate":
+		print(experiments.Validate())
+	case "iolatency":
+		print(experiments.IOLatency())
+	case "delta":
+		print(experiments.DeltaAblation())
+	case "step":
+		print(experiments.StepAblation())
+	default:
+		_ = shapes // exhaustively handled above
+	}
+}

@@ -1,0 +1,181 @@
+// Package cosma is a Go reproduction of "Red-Blue Pebbling Revisited:
+// Near Optimal Parallel Matrix-Matrix Multiplication" (Kwasniewski et
+// al., SC 2019): the COSMA algorithm, its I/O lower-bound theory, the
+// near-optimal sequential schedule, the 2D / 2.5D / recursive baselines,
+// and a simulated distributed machine on which all of them execute with
+// exact communication accounting.
+//
+// Quick start:
+//
+//	a := cosma.RandomMatrix(512, 512, 1)
+//	b := cosma.RandomMatrix(512, 512, 2)
+//	c, rep, err := cosma.Multiply(a, b, cosma.Options{Procs: 16, Memory: 1 << 20})
+//
+// The returned report carries the measured per-rank communication volume,
+// which sits within the √S/(√(S+1)−1) factor of the Theorem 2 lower bound
+// (ParallelLowerBound).
+package cosma
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cosma/internal/algo"
+	"cosma/internal/baselines"
+	"cosma/internal/bound"
+	"cosma/internal/core"
+	"cosma/internal/grid"
+	"cosma/internal/matrix"
+	"cosma/internal/seq"
+)
+
+// Matrix is a dense row-major float64 matrix. One element is one "word"
+// of the paper's I/O analyses.
+type Matrix = matrix.Dense
+
+// Report describes an executed distributed multiplication: the grid, the
+// measured per-rank traffic, and the algorithm's analytic prediction.
+type Report = algo.Report
+
+// Model is an algorithm's analytic communication/computation prediction.
+type Model = algo.Model
+
+// Runner is a distributed MMM algorithm (COSMA or a baseline).
+type Runner = algo.Runner
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix { return matrix.New(r, c) }
+
+// MatrixFromSlice wraps a row-major slice as an r×c matrix without
+// copying.
+func MatrixFromSlice(r, c int, data []float64) *Matrix { return matrix.FromSlice(r, c, data) }
+
+// RandomMatrix returns an r×c matrix with entries uniform in [-1, 1),
+// deterministic in seed.
+func RandomMatrix(r, c int, seed int64) *Matrix {
+	return matrix.Random(r, c, rand.New(rand.NewSource(seed)))
+}
+
+// Options configure a distributed multiplication.
+type Options struct {
+	// Procs is the number of simulated processors (p). Zero means 1.
+	Procs int
+	// Memory is the local memory per processor in words (S). Zero means
+	// unbounded (2^40).
+	Memory int
+	// Delta is the grid-fitting idle-rank tolerance δ of §7.1; zero means
+	// the paper's default 0.03.
+	Delta float64
+}
+
+func (o Options) normalize() Options {
+	if o.Procs == 0 {
+		o.Procs = 1
+	}
+	if o.Memory == 0 {
+		o.Memory = 1 << 40
+	}
+	return o
+}
+
+// Multiply computes C = A·B with COSMA on the simulated distributed
+// machine and reports the measured communication.
+func Multiply(a, b *Matrix, opts Options) (*Matrix, *Report, error) {
+	opts = opts.normalize()
+	c := &core.COSMA{Delta: opts.Delta}
+	return c.Run(a, b, opts.Procs, opts.Memory)
+}
+
+// SequentialResult reports an executed near-I/O-optimal sequential
+// multiplication (Listing 1): the product and the exact vertical I/O.
+type SequentialResult struct {
+	C      *Matrix
+	Loads  int64 // words loaded from slow memory
+	Stores int64 // words stored to slow memory
+	Peak   int   // peak fast-memory residency in words
+	TileA  int   // tile rows a_opt
+	TileB  int   // tile cols b_opt
+}
+
+// IO returns loads + stores — the schedule's vertical I/O cost Q.
+func (r *SequentialResult) IO() int64 { return r.Loads + r.Stores }
+
+// MultiplySequential computes C = A·B with the near-optimal sequential
+// schedule under a fast memory of s words (s ≥ 4), counting every load
+// and store. The measured I/O is within √S/(√(S+1)−1) of
+// SequentialLowerBound.
+func MultiplySequential(a, b *Matrix, s int) *SequentialResult {
+	res := seq.Multiply(a, b, s)
+	return &SequentialResult{
+		C: res.C, Loads: res.Loads, Stores: res.Stores,
+		Peak: res.Peak, TileA: res.TileA, TileB: res.TileB,
+	}
+}
+
+// SequentialLowerBound is Theorem 1: any schedule multiplying m×k by k×n
+// with fast memory S performs at least 2mnk/√S + mn I/O operations.
+func SequentialLowerBound(m, n, k, s int) float64 {
+	return bound.SequentialLowerBound(m, n, k, s)
+}
+
+// ParallelLowerBound is Theorem 2: the per-processor communication of any
+// classical MMM on p processors with S words each is at least
+// min{2mnk/(p√S) + S, 3(mnk/p)^(2/3)}.
+func ParallelLowerBound(m, n, k, p, s int) float64 {
+	return bound.ParallelLowerBound(m, n, k, p, s)
+}
+
+// Decomposition describes the schedule COSMA would use for a problem:
+// the processor grid and the local-domain geometry of §6.3.
+type Decomposition struct {
+	GridPm, GridPn, GridPk    int // the fitted processor grid (§7.1)
+	RanksUsed                 int
+	DomainM, DomainN, DomainK int // local domain extents per rank
+	StepSize                  int // outer products per communication round
+	Rounds                    int // number of rounds t (latency cost L)
+}
+
+// Plan returns COSMA's decomposition for an m×n×k multiplication on p
+// processors with S words of memory each, without executing anything.
+func Plan(m, n, k, p, s int, delta float64) Decomposition {
+	if delta == 0 {
+		delta = core.DefaultDelta
+	}
+	g := grid.Fit(m, n, k, p, s, delta)
+	dm, dn, dk := g.LocalDims(m, n, k)
+	d := bound.Domain{A: maxInt(dm, dn), B: dk}
+	step := d.StepSize(s)
+	return Decomposition{
+		GridPm: g.Pm, GridPn: g.Pn, GridPk: g.Pk,
+		RanksUsed: g.Ranks(),
+		DomainM:   dm, DomainN: dn, DomainK: dk,
+		StepSize: step,
+		Rounds:   (dk + step - 1) / step,
+	}
+}
+
+// Algorithms returns COSMA and the three baselines in the paper's
+// comparison order; each can Run on the simulated machine or produce an
+// analytic Model at any scale.
+func Algorithms() []Runner {
+	return []Runner{
+		&core.COSMA{},
+		baselines.SUMMA{},
+		baselines.C25D{},
+		baselines.CARMA{},
+	}
+}
+
+// String implements fmt.Stringer.
+func (d Decomposition) String() string {
+	return fmt.Sprintf("grid [%d×%d×%d] (%d ranks), domain [%d×%d×%d], %d rounds of %d",
+		d.GridPm, d.GridPn, d.GridPk, d.RanksUsed,
+		d.DomainM, d.DomainN, d.DomainK, d.Rounds, d.StepSize)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

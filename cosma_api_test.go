@@ -1,0 +1,105 @@
+package cosma
+
+import (
+	"testing"
+)
+
+func TestMultiplyDefaults(t *testing.T) {
+	a := RandomMatrix(20, 30, 1)
+	b := RandomMatrix(30, 10, 2)
+	got, rep, err := Multiply(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P != 1 || got.Rows != 20 || got.Cols != 10 {
+		t.Fatalf("defaults: p=%d dims %d×%d", rep.P, got.Rows, got.Cols)
+	}
+}
+
+func TestMultiplyParallelMatchesSequential(t *testing.T) {
+	a := RandomMatrix(32, 24, 3)
+	b := RandomMatrix(24, 40, 4)
+	par, _, err := Multiply(a, b, Options{Procs: 8, Memory: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := MultiplySequential(a, b, 64)
+	var maxd float64
+	for i := range par.Data {
+		if d := par.Data[i] - sq.C.Data[i]; d > maxd {
+			maxd = d
+		} else if -d > maxd {
+			maxd = -d
+		}
+	}
+	if maxd > 1e-9 {
+		t.Fatalf("parallel vs sequential diff %g", maxd)
+	}
+}
+
+func TestSequentialIOAgainstBound(t *testing.T) {
+	a := RandomMatrix(48, 48, 5)
+	b := RandomMatrix(48, 48, 6)
+	res := MultiplySequential(a, b, 200)
+	lb := SequentialLowerBound(48, 48, 48, 200)
+	if float64(res.IO()) < lb {
+		t.Fatalf("measured IO %d beats the Theorem 1 bound %v", res.IO(), lb)
+	}
+	if float64(res.IO()) > 2*lb {
+		t.Fatalf("measured IO %d far above the bound %v", res.IO(), lb)
+	}
+	if res.Peak > 200 {
+		t.Fatalf("peak %d exceeds memory", res.Peak)
+	}
+}
+
+func TestParallelLowerBoundExposed(t *testing.T) {
+	if ParallelLowerBound(1024, 1024, 1024, 64, 1<<20) <= 0 {
+		t.Fatal("bound must be positive")
+	}
+}
+
+func TestPlanFigure5(t *testing.T) {
+	d := Plan(4096, 4096, 4096, 65, 1<<22, 0)
+	if d.RanksUsed != 64 {
+		t.Fatalf("Plan used %d ranks, want 64: %v", d.RanksUsed, d)
+	}
+	if d.GridPm != 4 || d.GridPn != 4 || d.GridPk != 4 {
+		t.Fatalf("Plan grid %v", d)
+	}
+	if d.Rounds < 1 || d.StepSize < 1 {
+		t.Fatalf("degenerate rounds: %v", d)
+	}
+}
+
+func TestAlgorithmsAgree(t *testing.T) {
+	a := RandomMatrix(16, 16, 7)
+	b := RandomMatrix(16, 16, 8)
+	want, _, err := Multiply(a, b, Options{Procs: 4, Memory: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range Algorithms() {
+		got, _, err := r.Run(a, b, 4, 1<<16)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		for i := range got.Data {
+			d := got.Data[i] - want.Data[i]
+			if d > 1e-9 || d < -1e-9 {
+				t.Fatalf("%s disagrees at %d by %g", r.Name(), i, d)
+			}
+		}
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := MatrixFromSlice(2, 2, []float64{1, 2, 3, 4})
+	if m.At(1, 0) != 3 {
+		t.Fatal("FromSlice layout")
+	}
+	z := NewMatrix(3, 3)
+	if z.At(2, 2) != 0 {
+		t.Fatal("NewMatrix not zeroed")
+	}
+}

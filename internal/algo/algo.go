@@ -1,0 +1,62 @@
+// Package algo defines the common result and model types shared by the
+// distributed MMM implementations (COSMA and the baselines), so the
+// benchmark harness can treat them uniformly.
+package algo
+
+import (
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// Model is an algorithm's analytic communication/computation prediction
+// for an m×n×k multiplication on p ranks with S words of memory per rank.
+// Models are derived from each algorithm's decomposition structure (the
+// same code paths that drive execution), not from Table 3 closed forms,
+// except where noted. They evaluate at any scale, including the paper's
+// 18,432-core runs that are too large to execute in-process.
+type Model struct {
+	Name     string
+	Grid     string  // human-readable decomposition
+	Used     int     // ranks that perform work
+	AvgRecv  float64 // average received words per rank (over all p ranks)
+	MaxRecv  float64 // received words on the busiest rank
+	MaxMsgs  float64 // messages on the busiest rank (latency proxy L)
+	MaxFlops float64 // flops on the busiest rank (2·work)
+}
+
+// Report describes one executed run on the simulated machine.
+type Report struct {
+	Name    string
+	Grid    string
+	P       int     // machine size
+	Used    int     // ranks that performed work
+	AvgRecv float64 // measured average received words per rank
+	MaxRecv int64
+	Total   int64 // total words moved (each counted once)
+	MaxMsgs int64
+	Model   Model // the analytic prediction for the same parameters
+}
+
+// NewReport assembles a Report from a finished machine run.
+func NewReport(name, gridStr string, m *machine.Machine, used int, model Model) *Report {
+	return &Report{
+		Name:    name,
+		Grid:    gridStr,
+		P:       m.P(),
+		Used:    used,
+		AvgRecv: m.AvgRecv(),
+		MaxRecv: m.MaxRecv(),
+		Total:   m.TotalVolume(),
+		MaxMsgs: m.MaxMessages(),
+		Model:   model,
+	}
+}
+
+// Runner is a distributed MMM algorithm: it multiplies on a simulated
+// machine of p ranks with s words of local memory each, and can predict
+// its own communication analytically at any scale.
+type Runner interface {
+	Name() string
+	Run(a, b *matrix.Dense, p, s int) (*matrix.Dense, *Report, error)
+	Model(m, n, k, p, s int) Model
+}

@@ -1,0 +1,262 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cosma/internal/algo"
+	"cosma/internal/matrix"
+)
+
+func mulRef(a, b *matrix.Dense) *matrix.Dense {
+	c := matrix.New(a.Rows, b.Cols)
+	matrix.Mul(c, a, b)
+	return c
+}
+
+func checkCorrect(t *testing.T, name string, run func() (*matrix.Dense, *algo.Report, error), a, b *matrix.Dense, k int) *algo.Report {
+	t.Helper()
+	got, rep, err := run()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if d := matrix.MaxDiff(got, mulRef(a, b)); d > 1e-9*float64(k) {
+		t.Fatalf("%s: max diff %g (grid %s)", name, d, rep.Grid)
+	}
+	return rep
+}
+
+func TestNearSquare(t *testing.T) {
+	cases := []struct{ p, pr, pc int }{
+		{1, 1, 1}, {4, 2, 2}, {6, 2, 3}, {12, 3, 4}, {13, 1, 13}, {36, 6, 6},
+	}
+	for _, c := range cases {
+		pr, pc := NearSquare(c.p)
+		if pr != c.pr || pc != c.pc {
+			t.Fatalf("NearSquare(%d) = %d×%d, want %d×%d", c.p, pr, pc, c.pr, c.pc)
+		}
+	}
+}
+
+func TestSUMMACorrectAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ m, k, n, p, s int }{
+		{16, 16, 16, 4, 1 << 12},
+		{24, 12, 18, 6, 1 << 12},
+		{8, 64, 8, 4, 1 << 12},
+		{13, 7, 29, 12, 1 << 12},
+		{16, 16, 16, 1, 1 << 12},
+		{32, 32, 32, 9, 200}, // tight memory → narrow panels
+	} {
+		a := matrix.Random(c.m, c.k, rng)
+		b := matrix.Random(c.k, c.n, rng)
+		checkCorrect(t, "summa", func() (*matrix.Dense, *algo.Report, error) {
+			return SUMMA{}.Run(a, b, c.p, c.s)
+		}, a, b, c.k)
+	}
+}
+
+func TestSUMMAMeasuredMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []struct{ m, k, n, p, s int }{
+		{16, 16, 16, 4, 1 << 12},
+		{32, 64, 32, 16, 1 << 12},
+		{24, 24, 48, 6, 1 << 12},
+	} {
+		a := matrix.Random(c.m, c.k, rng)
+		b := matrix.Random(c.k, c.n, rng)
+		_, rep, err := SUMMA{}.Run(a, b, c.p, c.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rep.AvgRecv-rep.Model.AvgRecv) > 1e-6*math.Max(1, rep.Model.AvgRecv) {
+			t.Fatalf("%+v: measured %v, model %v", c, rep.AvgRecv, rep.Model.AvgRecv)
+		}
+	}
+}
+
+func TestCannonCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range []struct{ m, k, n, p int }{
+		{16, 16, 16, 4},
+		{24, 12, 18, 9},
+		{32, 16, 32, 16},
+		{8, 8, 8, 1},
+	} {
+		a := matrix.Random(c.m, c.k, rng)
+		b := matrix.Random(c.k, c.n, rng)
+		checkCorrect(t, "cannon", func() (*matrix.Dense, *algo.Report, error) {
+			return Cannon{}.Run(a, b, c.p, 1<<12)
+		}, a, b, c.k)
+	}
+}
+
+func TestCannonMeasuredMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := matrix.Random(24, 12, rng)
+	b := matrix.Random(12, 18, rng)
+	_, rep, err := Cannon{}.Run(a, b, 9, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.AvgRecv-rep.Model.AvgRecv) > 1e-6*rep.Model.AvgRecv {
+		t.Fatalf("measured %v, model %v", rep.AvgRecv, rep.Model.AvgRecv)
+	}
+}
+
+func TestCannonRejectsBadConfigs(t *testing.T) {
+	a := matrix.New(8, 8)
+	b := matrix.New(8, 8)
+	if _, _, err := (Cannon{}).Run(a, b, 6, 1<<12); err == nil {
+		t.Fatal("non-square p accepted")
+	}
+	if _, _, err := (Cannon{}).Run(a, b, 9, 1<<12); err == nil {
+		t.Fatal("indivisible dims accepted")
+	}
+}
+
+func TestC25DCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct{ m, k, n, p, s int }{
+		{16, 16, 16, 8, 1 << 20},  // ample memory → c > 1
+		{16, 16, 16, 8, 64},       // tiny memory → c = 1 (SUMMA)
+		{8, 64, 8, 16, 1 << 20},   // largeK, deep replication
+		{24, 12, 18, 12, 1 << 16}, // non-square p
+		{9, 10, 11, 6, 1 << 16},   // awkward dims
+	} {
+		a := matrix.Random(c.m, c.k, rng)
+		b := matrix.Random(c.k, c.n, rng)
+		checkCorrect(t, "2.5d", func() (*matrix.Dense, *algo.Report, error) {
+			return C25D{}.Run(a, b, c.p, c.s)
+		}, a, b, c.k)
+	}
+}
+
+func TestC25DLayerSelection(t *testing.T) {
+	// Tiny memory: no replication possible.
+	if _, _, c := (C25D{}).Layers(1024, 1024, 1024, 64, 64); c != 1 {
+		t.Fatalf("tiny memory picked c = %d", c)
+	}
+	// Huge memory: replication capped at p^(1/3).
+	if _, _, c := (C25D{}).Layers(64, 64, 64, 64, 1<<30); c != 4 {
+		t.Fatalf("huge memory picked c = %d, want 4 = 64^(1/3)", c)
+	}
+	// c must divide p.
+	_, _, c := (C25D{}).Layers(128, 128, 128, 12, 1<<18)
+	if 12%c != 0 {
+		t.Fatalf("c = %d does not divide p", c)
+	}
+}
+
+func TestC25DMeasuredMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, c := range []struct{ m, k, n, p, s int }{
+		{16, 16, 16, 8, 1 << 20},
+		{16, 64, 16, 16, 1 << 20},
+		{32, 32, 32, 8, 300},
+	} {
+		a := matrix.Random(c.m, c.k, rng)
+		b := matrix.Random(c.k, c.n, rng)
+		_, rep, err := C25D{}.Run(a, b, c.p, c.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rep.AvgRecv-rep.Model.AvgRecv) > 1e-6*math.Max(1, rep.Model.AvgRecv) {
+			t.Fatalf("%+v (grid %s): measured %v, model %v", c, rep.Grid, rep.AvgRecv, rep.Model.AvgRecv)
+		}
+	}
+}
+
+func TestCARMACorrectAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []struct{ m, k, n, p int }{
+		{16, 16, 16, 8},
+		{16, 16, 16, 1},
+		{8, 64, 8, 8},   // largeK → k-splits and reductions
+		{64, 8, 8, 16},  // largeM
+		{13, 7, 29, 4},  // odd dims
+		{16, 16, 16, 6}, // non-power-of-2: 2 idle ranks
+		{4, 4, 4, 32},   // more ranks than sensible
+	} {
+		a := matrix.Random(c.m, c.k, rng)
+		b := matrix.Random(c.k, c.n, rng)
+		checkCorrect(t, "carma", func() (*matrix.Dense, *algo.Report, error) {
+			return CARMA{}.Run(a, b, c.p, 1<<20)
+		}, a, b, c.k)
+	}
+}
+
+func TestCARMAUsesPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := matrix.Random(16, 16, rng)
+	b := matrix.Random(16, 16, rng)
+	_, rep, err := CARMA{}.Run(a, b, 12, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Used != 8 {
+		t.Fatalf("used %d ranks of 12, want 8", rep.Used)
+	}
+}
+
+func TestCARMACorrectnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(16)
+		k := 1 + r.Intn(16)
+		n := 1 + r.Intn(16)
+		p := 1 << r.Intn(5)
+		a := matrix.Random(m, k, rng)
+		b := matrix.Random(k, n, rng)
+		got, _, err := CARMA{}.Run(a, b, p, 1<<20)
+		if err != nil {
+			return false
+		}
+		return matrix.MaxDiff(got, mulRef(a, b)) <= 1e-9*float64(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllAlgorithmsAgreeOnOneProblem(t *testing.T) {
+	// Integration: every algorithm must produce the same product.
+	rng := rand.New(rand.NewSource(10))
+	m, k, n, p := 24, 24, 24, 4
+	a := matrix.Random(m, k, rng)
+	b := matrix.Random(k, n, rng)
+	want := mulRef(a, b)
+	for _, r := range []algo.Runner{SUMMA{}, Cannon{}, C25D{}, CARMA{}} {
+		got, _, err := r.Run(a, b, p, 1<<16)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if d := matrix.MaxDiff(got, want); d > 1e-9*float64(k) {
+			t.Fatalf("%s: max diff %g", r.Name(), d)
+		}
+	}
+}
+
+func TestModelsScaleToPaperSizes(t *testing.T) {
+	// All four baselines' models must evaluate at the paper's largest
+	// configuration without executing anything.
+	m, n, k, p, s := 16384, 16384, 16384, 18432, 1<<21
+	for _, r := range []algo.Runner{SUMMA{}, Cannon{}, C25D{}, CARMA{}} {
+		mod := r.Model(m, n, k, p, s)
+		if mod.AvgRecv <= 0 || math.IsNaN(mod.AvgRecv) || math.IsInf(mod.AvgRecv, 0) {
+			t.Fatalf("%s: bad model %+v", r.Name(), mod)
+		}
+	}
+}
+
+func TestSUMMAPanelWidthRespectsMemory(t *testing.T) {
+	if got := panelWidth(100, 8, 8); got != 2 { // (100-64)/16
+		t.Fatalf("panelWidth = %d, want 2", got)
+	}
+	if got := panelWidth(10, 8, 8); got != 1 {
+		t.Fatalf("overcommitted panelWidth = %d, want 1", got)
+	}
+}

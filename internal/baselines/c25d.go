@@ -1,0 +1,217 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"cosma/internal/algo"
+	"cosma/internal/comm"
+	"cosma/internal/layout"
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// C25D is the 2.5D decomposition of Solomonik and Demmel — the algorithm
+// CTF implements (§2.4). The grid is [pr × pc × c]: the k dimension is cut
+// into c slabs, the inputs initially live on layer 0 and are scattered to
+// the layer that owns their slab, each layer runs SUMMA on its slab, and
+// the partial C results are reduced across layers back to layer 0. The
+// replication factor c targets c* = pS/(mk+nk) (§2.4), clamped to the
+// divisors of p; with c = 1 the algorithm degenerates to plain SUMMA, with
+// c = p^(1/3) to the 3D decomposition of Agarwal et al.
+type C25D struct{}
+
+// Name implements algo.Runner.
+func (C25D) Name() string { return "CTF/2.5D" }
+
+const (
+	c25TagScatterA = 1 << 20
+	c25TagScatterB = 2 << 20
+	c25TagReduceC  = 3 << 20
+	c25TagA        = 4 << 20
+	c25TagB        = 5 << 20
+)
+
+// Layers returns the replication factor and layer grid the 2.5D
+// decomposition picks for the given problem: the divisor of p closest to
+// min{pS/(mk+nk), p^(1/3)} (at least 1), with the remaining p/c factored
+// nearly square.
+func (C25D) Layers(m, n, k, p, sMem int) (pr, pc, c int) {
+	target := float64(p) * float64(sMem) / (float64(m)*float64(k) + float64(n)*float64(k))
+	if limit := math.Cbrt(float64(p)); target > limit {
+		target = limit
+	}
+	if target < 1 {
+		target = 1
+	}
+	bestC := 1
+	bestDist := math.Inf(1)
+	for d := 1; d <= p; d++ {
+		if p%d != 0 {
+			continue
+		}
+		if dist := math.Abs(float64(d) - target); dist < bestDist {
+			bestDist, bestC = dist, d
+		}
+	}
+	pr, pc = NearSquare(p / bestC)
+	return pr, pc, bestC
+}
+
+// Run implements algo.Runner.
+func (d C25D) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
+	if a.Cols != b.Rows {
+		return nil, nil, fmt.Errorf("baselines: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	pr, pc, c := d.Layers(m, n, k, p, sMem)
+	if pr > m || pc > n || c > k {
+		return nil, nil, fmt.Errorf("baselines: 2.5D grid [%d×%d×%d] exceeds %d×%d×%d", pr, pc, c, m, n, k)
+	}
+
+	mach := machine.New(p)
+	tiles := make([]*matrix.Dense, p)
+	err := mach.Run(func(r *machine.Rank) error {
+		tiles[r.ID()] = c25dRank(r, a, b, pr, pc, c, sMem)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := matrix.New(m, n)
+	for id := 0; id < p; id++ {
+		i, j, l := id%pr, (id/pr)%pc, id/(pr*pc)
+		if l != 0 {
+			continue // C lives on layer 0 after the reduction
+		}
+		rows := layout.Block(m, pr, i)
+		cols := layout.Block(n, pc, j)
+		out.View(rows.Lo, cols.Lo, rows.Len(), cols.Len()).CopyFrom(tiles[id])
+	}
+	rep := algo.NewReport(d.Name(), fmt.Sprintf("[%d×%d×%d]", pr, pc, c), mach, p, d.Model(m, n, k, p, sMem))
+	return out, rep, nil
+}
+
+func c25dRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, c, sMem int) *matrix.Dense {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	i, j, l := r.ID()%pr, (r.ID()/pr)%pc, r.ID()/(pr*pc)
+	rank := func(ii, jj, ll int) int { return ii + pr*(jj+pc*ll) }
+	rows := layout.Block(m, pr, i)
+	cols := layout.Block(n, pc, j)
+	dm, dn := rows.Len(), cols.Len()
+
+	// Layer-0 initial layout, aligned to (slab, owner) so the scatter is
+	// pure point-to-point: layer 0's rank (i,j,0) holds, for every layer
+	// l', the A piece rows×(slab l' ∩ column j's share) and the analogous
+	// B piece. Scatter sends piece l' to (i,j,l').
+	myAPieces := make([]*matrix.Dense, c)
+	myBPieces := make([]*matrix.Dense, c)
+	if l == 0 {
+		for ll := 0; ll < c; ll++ {
+			slab := layout.Block(k, c, ll)
+			aPart := layout.Block(slab.Len(), pc, j)
+			bPart := layout.Block(slab.Len(), pr, i)
+			myAPieces[ll] = a.View(rows.Lo, slab.Lo+aPart.Lo, dm, aPart.Len())
+			myBPieces[ll] = b.View(slab.Lo+bPart.Lo, cols.Lo, bPart.Len(), dn)
+			if ll != 0 {
+				r.Send(rank(i, j, ll), c25TagScatterA, myAPieces[ll].Pack(nil))
+				r.Send(rank(i, j, ll), c25TagScatterB, myBPieces[ll].Pack(nil))
+			}
+		}
+	}
+
+	slab := layout.Block(k, c, l)
+	aPart := layout.Block(slab.Len(), pc, j)
+	bPart := layout.Block(slab.Len(), pr, i)
+	var myA, myB *matrix.Dense
+	if l == 0 {
+		myA = myAPieces[0].Clone()
+		myB = myBPieces[0].Clone()
+	} else {
+		myA = matrix.FromSlice(dm, aPart.Len(), r.Recv(rank(i, j, 0), c25TagScatterA))
+		myB = matrix.FromSlice(bPart.Len(), dn, r.Recv(rank(i, j, 0), c25TagScatterB))
+	}
+
+	// SUMMA within my layer over my k slab.
+	rowIDs := make([]int, pc)
+	for cc := 0; cc < pc; cc++ {
+		rowIDs[cc] = rank(i, cc, l)
+	}
+	colIDs := make([]int, pr)
+	for rr := 0; rr < pr; rr++ {
+		colIDs[rr] = rank(rr, j, l)
+	}
+	rowGroup := comm.NewGroup(r, rowIDs)
+	colGroup := comm.NewGroup(r, colIDs)
+
+	cTile := matrix.New(dm, dn)
+	dmMax, dnMax := ceilDiv(m, pr), ceilDiv(n, pc)
+	step := panelWidth(sMem, dmMax, dnMax)
+	for _, seg := range kSegments(slab.Len(), pr, pc, step) {
+		aOwner := ownerIn(slab.Len(), pc, seg.Lo)
+		bOwner := ownerIn(slab.Len(), pr, seg.Lo)
+
+		var aChunk []float64
+		if j == aOwner {
+			aChunk = myA.View(0, seg.Lo-aPart.Lo, dm, seg.Len()).Pack(nil)
+		}
+		aChunk = rowGroup.Bcast(aOwner, aChunk, c25TagA+seg.Lo)
+
+		var bChunk []float64
+		if i == bOwner {
+			bChunk = myB.View(seg.Lo-bPart.Lo, 0, seg.Len(), dn).Pack(nil)
+		}
+		bChunk = colGroup.Bcast(bOwner, bChunk, c25TagB+seg.Lo)
+
+		matrix.Mul(cTile,
+			matrix.FromSlice(dm, seg.Len(), aChunk),
+			matrix.FromSlice(seg.Len(), dn, bChunk))
+	}
+
+	// Reduce the layers' partial C tiles onto layer 0.
+	fiberIDs := make([]int, c)
+	for ll := 0; ll < c; ll++ {
+		fiberIDs[ll] = rank(i, j, ll)
+	}
+	sum := comm.NewGroup(r, fiberIDs).Reduce(0, cTile.Data, c25TagReduceC)
+	if l != 0 {
+		return nil
+	}
+	return matrix.FromSlice(dm, dn, sum)
+}
+
+// ownerIn returns the balanced-partition member of extent-into-parts that
+// contains position x.
+func ownerIn(extent, parts, x int) int {
+	o := x * parts / extent
+	for layout.Block(extent, parts, o).Hi <= x {
+		o++
+	}
+	return o
+}
+
+// Model implements algo.Runner: scatter + per-layer SUMMA + C reduction.
+func (d C25D) Model(m, n, k, p, sMem int) algo.Model {
+	pr, pc, c := d.Layers(m, n, k, p, sMem)
+	dm, dn := ceilDiv(m, pr), ceilDiv(n, pc)
+	kSlab := float64(k) / float64(c)
+	// Scatter: each non-zero layer rank receives its A and B slab pieces.
+	scatter := (float64(dm)*kSlab/float64(pc) + float64(dn)*kSlab/float64(pr)) *
+		float64(c-1) / float64(c)
+	// SUMMA within a layer over the slab.
+	summa := float64(dm)*kSlab*float64(pc-1)/float64(pc) +
+		float64(dn)*kSlab*float64(pr-1)/float64(pr)
+	// Tree reduction of C across layers.
+	reduce := float64(dm) * float64(dn) * float64(c-1) / float64(c)
+	rounds := kSlab/float64(panelWidth(sMem, dm, dn)) + 1
+	return algo.Model{
+		Name:     d.Name(),
+		Grid:     fmt.Sprintf("[%d×%d×%d]", pr, pc, c),
+		Used:     p,
+		AvgRecv:  scatter + summa + reduce,
+		MaxRecv:  scatter + summa + 2*float64(dm)*float64(dn),
+		MaxMsgs:  2*rounds + 2*float64(c),
+		MaxFlops: 2 * float64(dm) * float64(dn) * math.Ceil(kSlab),
+	}
+}

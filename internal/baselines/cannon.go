@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"cosma/internal/algo"
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// Cannon is Cannon's algorithm on a q×q torus: the original 2D
+// decomposition (1969). It requires p to be a perfect square and the
+// matrix dimensions to be divisible by q; it exists as the classical
+// reference point of Table 3 and Figure 2.
+type Cannon struct{}
+
+// Name implements algo.Runner.
+func (Cannon) Name() string { return "Cannon-2D" }
+
+const (
+	canTagSkewA = 1 << 20
+	canTagSkewB = 2 << 20
+	canTagA     = 3 << 20
+	canTagB     = 4 << 20
+)
+
+// Run implements algo.Runner.
+func (c Cannon) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
+	if a.Cols != b.Rows {
+		return nil, nil, fmt.Errorf("baselines: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	q := int(math.Round(math.Sqrt(float64(p))))
+	if q*q != p {
+		return nil, nil, fmt.Errorf("baselines: Cannon needs a square p, got %d", p)
+	}
+	if m%q != 0 || n%q != 0 || k%q != 0 {
+		return nil, nil, fmt.Errorf("baselines: Cannon needs q=%d to divide %d×%d×%d", q, m, n, k)
+	}
+	dm, dk, dn := m/q, k/q, n/q
+
+	mach := machine.New(p)
+	tiles := make([]*matrix.Dense, p)
+	err := mach.Run(func(r *machine.Rank) error {
+		i, j := r.ID()/q, r.ID()%q // row-major torus coordinates
+		rank := func(ii, jj int) int { return mod(ii, q)*q + mod(jj, q) }
+
+		// Initial blocks, then the Cannon skew: A(i,j) ← A(i, j+i),
+		// B(i,j) ← B(i+j, j).
+		myA := a.View(i*dm, j*dk, dm, dk).Pack(nil)
+		myB := b.View(i*dk, j*dn, dk, dn).Pack(nil)
+		if q > 1 && i != 0 {
+			myA = r.SendRecv(rank(i, j-i), myA, rank(i, j+i), canTagSkewA)
+		}
+		if q > 1 && j != 0 {
+			myB = r.SendRecv(rank(i-j, j), myB, rank(i+j, j), canTagSkewB)
+		}
+
+		cTile := matrix.New(dm, dn)
+		for t := 0; t < q; t++ {
+			matrix.Mul(cTile,
+				matrix.FromSlice(dm, dk, myA),
+				matrix.FromSlice(dk, dn, myB))
+			if t == q-1 {
+				break
+			}
+			myA = r.SendRecv(rank(i, j-1), myA, rank(i, j+1), canTagA+t)
+			myB = r.SendRecv(rank(i-1, j), myB, rank(i+1, j), canTagB+t)
+		}
+		tiles[r.ID()] = cTile
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := matrix.New(m, n)
+	for id := 0; id < p; id++ {
+		i, j := id/q, id%q
+		out.View(i*dm, j*dn, dm, dn).CopyFrom(tiles[id])
+	}
+	rep := algo.NewReport(c.Name(), fmt.Sprintf("[%d×%d×1]", q, q), mach, p, c.Model(m, n, k, p, sMem))
+	return out, rep, nil
+}
+
+// Model implements algo.Runner. Per rank: the skew moves one A block for
+// every rank off the zeroth row ((q−1)/q of ranks) and one B block off the
+// zeroth column, then q−1 shift rounds move one A and one B block each.
+func (c Cannon) Model(m, n, k, p, sMem int) algo.Model {
+	q := int(math.Round(math.Sqrt(float64(p))))
+	dm, dk, dn := ceilDiv(m, q), ceilDiv(k, q), ceilDiv(n, q)
+	aBlk, bBlk := float64(dm*dk), float64(dk*dn)
+	shifts := float64(q - 1)
+	skewFrac := float64(q-1) / float64(q)
+	avg := aBlk*(shifts+skewFrac) + bBlk*(shifts+skewFrac)
+	return algo.Model{
+		Name:     c.Name(),
+		Grid:     fmt.Sprintf("[%d×%d×1]", q, q),
+		Used:     p,
+		AvgRecv:  avg,
+		MaxRecv:  (aBlk + bBlk) * (shifts + 1),
+		MaxMsgs:  2 * (shifts + 1),
+		MaxFlops: 2 * float64(dm) * float64(dn) * float64(k),
+	}
+}
+
+func mod(x, q int) int { return ((x % q) + q) % q }

@@ -1,0 +1,235 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"cosma/internal/algo"
+	"cosma/internal/layout"
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// CARMA is the communication-avoiding recursive algorithm of Demmel et
+// al. [22]: recursively split the largest of (m, n, k) in half together
+// with the rank team, until every team is a single rank that multiplies
+// its subproblem locally. Only the k-splits need an ascent step (summing
+// the two half-teams' partial C); m- and n-splits leave C in the
+// recursive layout, which the caller assembles.
+//
+// CARMA requires a power-of-two rank count (§1 lists this as one of its
+// limitations); Run leaves p − 2^⌊log₂ p⌋ ranks idle, exactly as the
+// paper's comparisons do on non-power-of-two allocations.
+type CARMA struct{}
+
+// Name implements algo.Runner.
+func (CARMA) Name() string { return "CARMA-recursive" }
+
+// carmaPiece is one rectangle of the output in the recursive layout: the
+// sub-block C[rowOff:, colOff:] of width cols, row-distributed over a
+// team. local is the caller's band (nil if it is not a team member).
+type carmaPiece struct {
+	rowOff, colOff int
+	cols           int
+	dist           layout.RowDist
+	local          *matrix.Dense
+}
+
+// Run implements algo.Runner.
+func (c CARMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
+	if a.Cols != b.Rows {
+		return nil, nil, fmt.Errorf("baselines: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	used := 1
+	for used*2 <= p {
+		used *= 2
+	}
+	team := make([]int, used)
+	for i := range team {
+		team[i] = i
+	}
+
+	mach := machine.New(p)
+	out := matrix.New(m, n)
+	err := mach.Run(func(r *machine.Rank) error {
+		// Every rank (including idle ones beyond `used`) walks the same
+		// recursion tree; transfers no-op for ranks outside the teams
+		// involved, which keeps tags aligned without global metadata.
+		aDist := layout.RowDist{Rows: m, Team: team}
+		bDist := layout.RowDist{Rows: k, Team: team}
+		var aLoc, bLoc *matrix.Dense
+		if r.ID() < used {
+			ab := aDist.Band(r.ID())
+			bb := bDist.Band(r.ID())
+			aLoc = a.View(ab.Lo, 0, ab.Len(), k).Clone()
+			bLoc = b.View(bb.Lo, 0, bb.Len(), n).Clone()
+		}
+		pieces := carmaSolve(r, team, aLoc, bLoc, m, n, k, 1)
+		// Assemble my bands of the recursive output layout. Ranks write
+		// disjoint regions of the shared result.
+		for _, pc := range pieces {
+			for idx, id := range pc.dist.Team {
+				if id != r.ID() {
+					continue
+				}
+				band := pc.dist.Band(idx)
+				if band.Len() == 0 || pc.cols == 0 {
+					continue
+				}
+				out.View(pc.rowOff+band.Lo, pc.colOff, band.Len(), pc.cols).CopyFrom(pc.local)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := algo.NewReport(c.Name(), fmt.Sprintf("recursive p=%d", used), mach, used, c.Model(m, n, k, p, sMem))
+	return out, rep, nil
+}
+
+// carmaSolve handles one recursion node. All ranks of the original
+// machine call it with identical metadata; only members of team carry
+// data. node identifies the tree position for tag derivation.
+func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, kr, node int) []carmaPiece {
+	q := len(team)
+	aDist := layout.RowDist{Rows: mr, Team: team}
+	bDist := layout.RowDist{Rows: kr, Team: team}
+	if q == 1 {
+		var cLoc *matrix.Dense
+		if team[0] == r.ID() {
+			cLoc = matrix.New(mr, nr)
+			matrix.Mul(cLoc, aLoc, bLoc)
+		}
+		return []carmaPiece{{cols: nr, dist: layout.RowDist{Rows: mr, Team: team}, local: cLoc}}
+	}
+
+	team1, team2 := team[:q/2], team[q/2:]
+	tag := node * 8192
+
+	switch largestDim(mr, nr, kr) {
+	case 'm':
+		mh := mr / 2
+		a1 := transferTo(r, aDist, aLoc, layout.Range{Lo: 0, Hi: mh}, layout.Range{Lo: 0, Hi: kr}, team1, tag)
+		a2 := transferTo(r, aDist, aLoc, layout.Range{Lo: mh, Hi: mr}, layout.Range{Lo: 0, Hi: kr}, team2, tag+1)
+		b1 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: 0, Hi: nr}, team1, tag+2)
+		b2 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: 0, Hi: nr}, team2, tag+3)
+		p1 := carmaSolve(r, team1, a1, b1, mh, nr, kr, 2*node)
+		p2 := carmaSolve(r, team2, a2, b2, mr-mh, nr, kr, 2*node+1)
+		for i := range p2 {
+			p2[i].rowOff += mh
+		}
+		return append(p1, p2...)
+
+	case 'n':
+		nh := nr / 2
+		a1 := transferTo(r, aDist, aLoc, layout.Range{Lo: 0, Hi: mr}, layout.Range{Lo: 0, Hi: kr}, team1, tag)
+		a2 := transferTo(r, aDist, aLoc, layout.Range{Lo: 0, Hi: mr}, layout.Range{Lo: 0, Hi: kr}, team2, tag+1)
+		b1 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: 0, Hi: nh}, team1, tag+2)
+		b2 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: nh, Hi: nr}, team2, tag+3)
+		p1 := carmaSolve(r, team1, a1, b1, mr, nh, kr, 2*node)
+		p2 := carmaSolve(r, team2, a2, b2, mr, nr-nh, kr, 2*node+1)
+		for i := range p2 {
+			p2[i].colOff += nh
+		}
+		return append(p1, p2...)
+
+	default: // 'k'
+		kh := kr / 2
+		a1 := transferTo(r, aDist, aLoc, layout.Range{Lo: 0, Hi: mr}, layout.Range{Lo: 0, Hi: kh}, team1, tag)
+		a2 := transferTo(r, aDist, aLoc, layout.Range{Lo: 0, Hi: mr}, layout.Range{Lo: kh, Hi: kr}, team2, tag+1)
+		b1 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kh}, layout.Range{Lo: 0, Hi: nr}, team1, tag+2)
+		b2 := transferTo(r, bDist, bLoc, layout.Range{Lo: kh, Hi: kr}, layout.Range{Lo: 0, Hi: nr}, team2, tag+3)
+		p1 := carmaSolve(r, team1, a1, b1, mr, nr, kh, 2*node)
+		p2 := carmaSolve(r, team2, a2, b2, mr, nr, kr-kh, 2*node+1)
+
+		// Ascent: sum both halves' partial C into the parent row
+		// distribution.
+		cDist := layout.RowDist{Rows: mr, Team: team}
+		var cLoc *matrix.Dense
+		if i := indexIn(team, r.ID()); i >= 0 {
+			cLoc = matrix.New(cDist.Band(i).Len(), nr)
+		}
+		idx := 16
+		for _, pc := range append(p1, p2...) {
+			layout.Transfer(r, pc.dist, pc.local,
+				layout.Range{Lo: 0, Hi: pc.dist.Rows}, layout.Range{Lo: 0, Hi: pc.cols},
+				cDist, pc.rowOff, pc.colOff, cLoc, true, tag+idx)
+			idx++
+		}
+		return []carmaPiece{{cols: nr, dist: cDist, local: cLoc}}
+	}
+}
+
+// transferTo redistributes the sub-block rows×cols of a row-distributed
+// matrix onto a row distribution over dstTeam, allocating the destination
+// block for members. Non-members of either team participate as no-ops.
+func transferTo(r *machine.Rank, src layout.RowDist, srcLocal *matrix.Dense,
+	rows, cols layout.Range, dstTeam []int, tag int) *matrix.Dense {
+	dst := layout.RowDist{Rows: rows.Len(), Team: dstTeam}
+	var dstLocal *matrix.Dense
+	if i := indexIn(dstTeam, r.ID()); i >= 0 {
+		dstLocal = matrix.New(dst.Band(i).Len(), cols.Len())
+	}
+	layout.Transfer(r, src, srcLocal, rows, cols, dst, 0, 0, dstLocal, false, tag)
+	return dstLocal
+}
+
+func indexIn(team []int, id int) int {
+	for i, t := range team {
+		if t == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// largestDim picks the dimension CARMA splits, preferring m, then n, then
+// k on ties (the recursion then matches the paper's description of
+// splitting the largest dimension).
+func largestDim(m, n, k int) byte {
+	if m >= n && m >= k {
+		return 'm'
+	}
+	if n >= k {
+		return 'n'
+	}
+	return 'k'
+}
+
+// Model implements algo.Runner using the recursive row of Table 3: CARMA
+// moves Q = 2·min{√3·mnk/(p√S), (mnk/p)^(2/3)} + (mnk/p)^(2/3) words per
+// rank — the √3 factor over COSMA in the limited-memory regime is the
+// paper's headline comparison (§6.2).
+func (c CARMA) Model(m, n, k, p, sMem int) algo.Model {
+	used := 1
+	levels := 0
+	for used*2 <= p {
+		used *= 2
+		levels++
+	}
+	w := float64(m) * float64(n) * float64(k) / float64(used)
+	cubic := math.Pow(w, 2.0/3.0)
+	// Feasibility-aware branch: the cubic leaf applies only when its
+	// working set fits in memory; otherwise CARMA pays the √3-factor
+	// limited-memory branch (§6.2).
+	var q float64
+	if 3*cubic <= float64(sMem) {
+		q = 3 * cubic
+	} else {
+		q = 2*math.Sqrt(3)*w/math.Sqrt(float64(sMem)) + cubic
+	}
+	return algo.Model{
+		Name:    c.Name(),
+		Grid:    fmt.Sprintf("recursive p=%d", used),
+		Used:    used,
+		AvgRecv: q * float64(used) / float64(p),
+		// The busiest rank additionally receives a sibling C tile at each
+		// k-split ascent (structurally comparable to COSMA's reduction
+		// tree accounting).
+		MaxRecv:  q + cubic,
+		MaxMsgs:  4 * float64(levels),
+		MaxFlops: 2 * w,
+	}
+}

@@ -1,0 +1,211 @@
+// Package baselines implements the three state-of-the-art algorithms the
+// paper compares against (§2.4, §9):
+//
+//   - SUMMA on a 2D grid — the decomposition ScaLAPACK implements,
+//   - the 2.5D decomposition of Solomonik and Demmel — what CTF implements,
+//   - Cannon's algorithm — the classic 2D reference,
+//   - CARMA — the recursive split-largest-dimension decomposition.
+//
+// Each algorithm runs on the simulated machine with real data movement and
+// provides an analytic model derived from the same decomposition code, so
+// measured and predicted traffic can be cross-checked at small scale and
+// the model trusted at paper scale.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"cosma/internal/algo"
+	"cosma/internal/comm"
+	"cosma/internal/layout"
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// SUMMA is the scalable universal matrix multiplication algorithm of van
+// de Geijn and Watts on a pr×pc process grid — the 2D decomposition used
+// by ScaLAPACK's PDGEMM. The grid is the most square factorization of p;
+// every rank is used.
+type SUMMA struct{}
+
+// Name implements algo.Runner.
+func (SUMMA) Name() string { return "ScaLAPACK/SUMMA-2D" }
+
+// NearSquare factors p into pr·pc with pr ≤ pc and pr as large as
+// possible — the grid shape ScaLAPACK users pick by convention.
+func NearSquare(p int) (pr, pc int) {
+	if p < 1 {
+		panic(fmt.Sprintf("baselines: p = %d", p))
+	}
+	for d := int(math.Sqrt(float64(p))); d >= 1; d-- {
+		if p%d == 0 {
+			return d, p / d
+		}
+	}
+	return 1, p
+}
+
+const (
+	sumTagA = 1 << 20
+	sumTagB = 2 << 20
+)
+
+// Run implements algo.Runner. A is m×k, B is k×n; each rank (i, j) owns
+// the blocks A[Mi, Kj], B[Ki, Nj] and computes C[Mi, Nj]. For every
+// k-segment, the owning column broadcasts its A panel along its row and
+// the owning row broadcasts its B panel along its column, sub-chunked to
+// the memory-limited panel width.
+func (s SUMMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
+	if a.Cols != b.Rows {
+		return nil, nil, fmt.Errorf("baselines: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	pr, pc := NearSquare(p)
+	if pr > m || pc > n {
+		return nil, nil, fmt.Errorf("baselines: grid %d×%d exceeds matrix %d×%d", pr, pc, m, n)
+	}
+
+	mach := machine.New(p)
+	tiles := make([]*matrix.Dense, p)
+	err := mach.Run(func(r *machine.Rank) error {
+		tiles[r.ID()] = summaRank(r, a, b, pr, pc, sMem)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := matrix.New(m, n)
+	for id := 0; id < p; id++ {
+		i, j := id%pr, id/pr
+		rows := layout.Block(m, pr, i)
+		cols := layout.Block(n, pc, j)
+		out.View(rows.Lo, cols.Lo, rows.Len(), cols.Len()).CopyFrom(tiles[id])
+	}
+	rep := algo.NewReport(s.Name(), fmt.Sprintf("[%d×%d×1]", pr, pc), mach, p, s.Model(m, n, k, p, sMem))
+	return out, rep, nil
+}
+
+func summaRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, sMem int) *matrix.Dense {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	i, j := r.ID()%pr, r.ID()/pr
+	rows := layout.Block(m, pr, i)
+	cols := layout.Block(n, pc, j)
+	dm, dn := rows.Len(), cols.Len()
+
+	// My input blocks under the 2D blocked layout.
+	aCols := layout.Block(k, pc, j)
+	bRows := layout.Block(k, pr, i)
+	myA := a.View(rows.Lo, aCols.Lo, dm, aCols.Len()).Clone()
+	myB := b.View(bRows.Lo, cols.Lo, bRows.Len(), dn).Clone()
+
+	rowIDs := make([]int, pc) // ranks sharing my row i
+	for c := 0; c < pc; c++ {
+		rowIDs[c] = i + pr*c
+	}
+	colIDs := make([]int, pr) // ranks sharing my column j
+	for rr := 0; rr < pr; rr++ {
+		colIDs[rr] = rr + pr*j
+	}
+	rowGroup := comm.NewGroup(r, rowIDs)
+	colGroup := comm.NewGroup(r, colIDs)
+
+	cTile := matrix.New(dm, dn)
+	dmMax, dnMax := ceilDiv(m, pr), ceilDiv(n, pc)
+	step := panelWidth(sMem, dmMax, dnMax)
+
+	for _, seg := range kSegments(k, pr, pc, step) {
+		aOwner := ownerIn(k, pc, seg.Lo)
+		bOwner := ownerIn(k, pr, seg.Lo)
+
+		var aChunk []float64
+		if j == aOwner {
+			aChunk = myA.View(0, seg.Lo-aCols.Lo, dm, seg.Len()).Pack(nil)
+		}
+		aChunk = rowGroup.Bcast(aOwner, aChunk, sumTagA+seg.Lo)
+
+		var bChunk []float64
+		if i == bOwner {
+			bChunk = myB.View(seg.Lo-bRows.Lo, 0, seg.Len(), dn).Pack(nil)
+		}
+		bChunk = colGroup.Bcast(bOwner, bChunk, sumTagB+seg.Lo)
+
+		matrix.Mul(cTile,
+			matrix.FromSlice(dm, seg.Len(), aChunk),
+			matrix.FromSlice(seg.Len(), dn, bChunk))
+	}
+	return cTile
+}
+
+// panelWidth is the largest k-panel that keeps the C tile plus one A and
+// one B panel within memory, at least 1.
+func panelWidth(sMem, dm, dn int) int {
+	h := (sMem - dm*dn) / (dm + dn)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// kSegments cuts [0, k) at every boundary of both the pc-way (A ownership)
+// and pr-way (B ownership) partitions, then sub-chunks to step.
+func kSegments(k, pr, pc, step int) []layout.Range {
+	cuts := map[int]bool{0: true, k: true}
+	for c := 0; c < pc; c++ {
+		cuts[layout.Block(k, pc, c).Lo] = true
+	}
+	for r := 0; r < pr; r++ {
+		cuts[layout.Block(k, pr, r).Lo] = true
+	}
+	points := make([]int, 0, len(cuts))
+	for c := range cuts {
+		points = append(points, c)
+	}
+	sortInts(points)
+	var out []layout.Range
+	for i := 0; i+1 < len(points); i++ {
+		for lo := points[i]; lo < points[i+1]; lo += step {
+			hi := lo + step
+			if hi > points[i+1] {
+				hi = points[i+1]
+			}
+			out = append(out, layout.Range{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// Model implements algo.Runner: per-rank received words of the 2D
+// schedule. Every rank receives the A panels of the pc−1 other columns
+// (dm·k·(pc−1)/pc words) and the B panels of the pr−1 other rows; C never
+// moves. This is the k(m+n)/√p + mn/p row of Table 3.
+func (s SUMMA) Model(m, n, k, p, sMem int) algo.Model {
+	pr, pc := NearSquare(p)
+	dm, dn := ceilDiv(m, pr), ceilDiv(n, pc)
+	avg := float64(dm)*float64(k)*float64(pc-1)/float64(pc) +
+		float64(dn)*float64(k)*float64(pr-1)/float64(pr)
+	rounds := float64(k) / float64(panelWidth(sMem, dm, dn))
+	if min := float64(pr + pc - 1); rounds < min {
+		rounds = min // at least one broadcast per ownership segment
+	}
+	return algo.Model{
+		Name:     s.Name(),
+		Grid:     fmt.Sprintf("[%d×%d×1]", pr, pc),
+		Used:     p,
+		AvgRecv:  avg,
+		MaxRecv:  avg, // the 2D schedule is symmetric
+		MaxMsgs:  2 * rounds,
+		MaxFlops: 2 * float64(dm) * float64(dn) * float64(k),
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package bound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialLowerBoundFormula(t *testing.T) {
+	// 2·8·8·8/√16 + 64 = 1024/4 + 64 = 320.
+	if got := SequentialLowerBound(8, 8, 8, 16); got != 320 {
+		t.Fatalf("SequentialLowerBound(8,8,8,16) = %v, want 320", got)
+	}
+}
+
+func TestGreedyAttainableAboveLowerBound(t *testing.T) {
+	for _, s := range []int{4, 16, 100, 1024, 1 << 20} {
+		lb := SequentialLowerBound(64, 64, 64, s)
+		at := GreedyAttainableIO(64, 64, 64, s)
+		if at < lb {
+			t.Fatalf("S=%d: attainable %v below lower bound %v", s, at, lb)
+		}
+		if at > lb*SequentialGap(s)+1e-6 {
+			t.Fatalf("S=%d: attainable %v exceeds gap-adjusted bound %v", s, at, lb*SequentialGap(s))
+		}
+	}
+}
+
+func TestSequentialGapApproachesOne(t *testing.T) {
+	// Paper abstract: within ~0.03–0.04% of optimal for 10 MB fast memory
+	// (S = 1.31e6 float64 words).
+	g := SequentialGap(10 << 20 / 8)
+	if g < 1 {
+		t.Fatalf("gap %v < 1", g)
+	}
+	if g > 1.001 {
+		t.Fatalf("gap %v should be below 1.001 for 10 MB", g)
+	}
+	if SequentialGap(4) <= SequentialGap(100) {
+		t.Fatal("gap must shrink as S grows")
+	}
+}
+
+func TestTileIOSquareTileMatchesGreedyFormula(t *testing.T) {
+	m, n, k := 128, 128, 128
+	side := 15 // √(S+1)−1 for S = 255
+	got := TileIO(m, n, k, side, side)
+	// ⌈128/15⌉² = 81 tiles... verify against the explicit count rather
+	// than the continuous 2mnk/side formula, which assumes divisibility.
+	want := float64(9*9)*float64(k)*float64(2*side) + float64(m*n)
+	if got != want {
+		t.Fatalf("TileIO = %v, want %v", got, want)
+	}
+}
+
+func TestTileIODivisibleMatchesClosedForm(t *testing.T) {
+	m, n, k, side := 120, 120, 64, 15
+	got := TileIO(m, n, k, side, side)
+	want := 2*float64(m)*float64(n)*float64(k)/float64(side) + float64(m*n)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TileIO = %v, closed form %v", got, want)
+	}
+}
+
+func TestOptimalTileNearSqrtS(t *testing.T) {
+	for _, s := range []int{16, 64, 100, 1024, 65536, 1 << 20} {
+		a, b := OptimalTile(s)
+		sq := math.Sqrt(float64(s))
+		if float64(a) > sq || float64(b) > sq {
+			t.Fatalf("S=%d: tile %d×%d exceeds √S=%v", s, a, b, sq)
+		}
+		if a*b+a+1 > s {
+			t.Fatalf("S=%d: tile %d×%d infeasible (ab+a+1=%d)", s, a, b, a*b+a+1)
+		}
+		if s >= 64 && (float64(a) < 0.5*sq || float64(b) < 0.5*sq) {
+			t.Fatalf("S=%d: tile %d×%d too far below √S", s, a, b)
+		}
+	}
+}
+
+// Property: OptimalTile is (near-)optimal — no feasible integer tile has
+// meaningfully higher intensity ab/(a+b).
+func TestOptimalTileIsOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := 8 + r.Intn(4000)
+		a, b := OptimalTile(s)
+		best := float64(a*b) / float64(a+b)
+		for aa := 1; aa*aa <= s; aa++ {
+			// largest b feasible for this a: ab + a + 1 ≤ S
+			bb := (s - aa - 1) / aa
+			if bb < 1 {
+				continue
+			}
+			if got := float64(aa*bb) / float64(aa+bb); got > best*1.0000001 {
+				t.Logf("S=%d: tile (%d,%d) ρ=%v beats OptimalTile (%d,%d) ρ=%v", s, aa, bb, got, a, b, best)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelLowerBoundRegimes(t *testing.T) {
+	// Limited memory: the 2mnk/(p√S)+S branch must win.
+	m, n, k := 1024, 1024, 1024
+	p, s := 64, 2*1024*1024/64 // S = 2·n²/p as in Table 3's square case
+	w := float64(m) * float64(n) * float64(k) / float64(p)
+	limited := 2*w/math.Sqrt(float64(s)) + float64(s)
+	cubic := 3 * math.Pow(w, 2.0/3.0)
+	got := ParallelLowerBound(m, n, k, p, s)
+	if got != math.Min(limited, cubic) {
+		t.Fatalf("ParallelLowerBound = %v, want min(%v, %v)", got, limited, cubic)
+	}
+	// Extra memory: huge S must switch to the cubic branch.
+	got = ParallelLowerBound(m, n, k, p, 1<<40)
+	if math.Abs(got-cubic) > 1e-6*cubic {
+		t.Fatalf("extra-memory bound %v, want cubic %v", got, cubic)
+	}
+}
+
+func TestParallelLowerBoundMonotoneInP(t *testing.T) {
+	prev := math.Inf(1)
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		q := ParallelLowerBound(512, 512, 512, p, 4096)
+		if q > prev {
+			t.Fatalf("bound increased from %v to %v at p=%d", prev, q, p)
+		}
+		prev = q
+	}
+}
+
+func TestOptimalDomainLimitedMemory(t *testing.T) {
+	// Square, limited memory (S ≈ 2n²/p): a should hit the memory wall √S
+	// and b should stretch along k (Pijk-like schedule).
+	n := 1 << 10
+	p := 64
+	s := 2 * n * n / p
+	d := OptimalDomain(n, n, n, p, s)
+	aMem := int(math.Floor(math.Sqrt(float64(s)+1) - 1))
+	if d.A != aMem {
+		t.Fatalf("limited memory: a = %d, want memory-bound %d", d.A, aMem)
+	}
+	if d.B <= d.A {
+		t.Fatalf("limited memory: b = %d should exceed a = %d", d.B, d.A)
+	}
+}
+
+func TestOptimalDomainExtraMemory(t *testing.T) {
+	// Ample memory: the domain should be (nearly) cubic.
+	n, p := 1<<9, 8
+	s := 1 << 30
+	d := OptimalDomain(n, n, n, p, s)
+	cube := math.Cbrt(float64(n) * float64(n) * float64(n) / float64(p))
+	if math.Abs(float64(d.A)-cube) > 1 {
+		t.Fatalf("extra memory: a = %d, want ≈ %v", d.A, cube)
+	}
+	if math.Abs(float64(d.B)-cube) > 1 {
+		t.Fatalf("extra memory: b = %d, want ≈ %v", d.B, cube)
+	}
+}
+
+func TestOptimalDomainCoversWork(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(2048)
+		n := 1 + r.Intn(2048)
+		k := 1 + r.Intn(2048)
+		p := 1 + r.Intn(512)
+		s := 16 + r.Intn(1<<16)
+		d := OptimalDomain(m, n, k, p, s)
+		// Domain volume must cover the per-processor work share.
+		if float64(d.A*d.A)*float64(d.B) < float64(m)*float64(n)*float64(k)/float64(p)-1e-9 {
+			return false
+		}
+		// And the ij face must fit in memory with room for one a-column
+		// and one a-row.
+		return d.A*d.A+2*d.A <= s || d.A == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommVolumeNearRegimeOptimum(t *testing.T) {
+	// The constructive schedule's volume 2ab+a² must sit within the
+	// integer-rounding slack of the regime-appropriate branch of Eq. 33:
+	// 2mnk/(p√S)+S when the memory constraint a² ≤ S binds, 3(mnk/p)^(2/3)
+	// otherwise. (In the deep limited-memory regime the min{} of Theorem 2
+	// selects the cubic branch, which is a valid but loose bound there —
+	// only the limited branch is attainable.)
+	cases := []struct{ m, n, k, p, s int }{
+		{4096, 4096, 4096, 64, 2 * 4096 * 4096 / 64}, // limited
+		{4096, 4096, 4096, 64, 1 << 28},              // extra
+		{17408, 17408, 3735552, 4096, 1 << 21},       // RPA tall, limited
+	}
+	for _, c := range cases {
+		d := OptimalDomain(c.m, c.n, c.k, c.p, c.s)
+		q := d.CommVolume()
+		w := float64(c.m) * float64(c.n) * float64(c.k) / float64(c.p)
+		var want float64
+		if math.Cbrt(w) > math.Sqrt(float64(c.s)+1)-1 { // memory binds
+			want = 2*w/math.Sqrt(float64(c.s)) + float64(c.s)
+		} else {
+			want = 3 * math.Pow(w, 2.0/3.0)
+		}
+		if q < want*0.9 || q > want*1.1 {
+			t.Fatalf("%+v: schedule volume %v, regime optimum %v", c, q, want)
+		}
+		// The Theorem 2 min{} must never exceed the attainable volume by
+		// more than integer slack — it is a lower bound.
+		if lb := ParallelLowerBound(c.m, c.n, c.k, c.p, c.s); q < lb*0.95 {
+			t.Fatalf("%+v: volume %v below the Theorem 2 bound %v", c, q, lb)
+		}
+	}
+}
+
+func TestStepSizeAndRounds(t *testing.T) {
+	d := Domain{A: 10, B: 100}
+	s := 160 // S − a² = 60, step = 60/20 = 3
+	if got := d.StepSize(s); got != 3 {
+		t.Fatalf("StepSize = %d, want 3", got)
+	}
+	if got := d.Rounds(s); got != 34 { // ⌈100/3⌉
+		t.Fatalf("Rounds = %d, want 34", got)
+	}
+}
+
+func TestStepSizeClamps(t *testing.T) {
+	d := Domain{A: 10, B: 5}
+	if got := d.StepSize(101); got != 1 { // free memory 1 word → min step 1
+		t.Fatalf("StepSize tiny memory = %d, want 1", got)
+	}
+	if got := d.StepSize(1 << 20); got != 5 { // cannot exceed b
+		t.Fatalf("StepSize huge memory = %d, want b=5", got)
+	}
+}
+
+func TestIntensity(t *testing.T) {
+	if got := Intensity(100, 30, 10, 0); got != 5 {
+		t.Fatalf("Intensity = %v, want 5", got)
+	}
+}
+
+func TestGreedyIntensity(t *testing.T) {
+	if got := GreedyIntensity(64); got != 4 {
+		t.Fatalf("GreedyIntensity(64) = %v, want 4", got)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { SequentialLowerBound(0, 1, 1, 4) },
+		func() { SequentialLowerBound(1, 1, 1, 0) },
+		func() { ParallelLowerBound(1, 1, 1, 0, 4) },
+		func() { OptimalTile(3) },
+		func() { TileIO(1, 1, 1, 0, 1) },
+		func() { Intensity(1, 1, 1, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

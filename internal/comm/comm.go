@@ -1,0 +1,188 @@
+// Package comm provides group collectives over machine ranks: the binary
+// broadcast and reduction trees of §7.2, built from the known processor
+// grid and communication pattern rather than a generic runtime. All
+// algorithms in this repository move matrix panels exclusively through
+// these collectives and point-to-point shifts, so their counted traffic is
+// the tree traffic.
+package comm
+
+import (
+	"fmt"
+
+	"cosma/internal/machine"
+)
+
+// Group is an ordered subset of machine ranks acting as a communicator.
+// Collective calls must be made by every member with the same arguments
+// (root, tag, data length).
+type Group struct {
+	rank  *machine.Rank
+	ranks []int
+	me    int
+}
+
+// NewGroup creates the view of the communicator over ranks (global ids,
+// all distinct) for the calling rank r, which must be a member.
+func NewGroup(r *machine.Rank, ranks []int) *Group {
+	me := -1
+	seen := make(map[int]bool, len(ranks))
+	for i, id := range ranks {
+		if seen[id] {
+			panic(fmt.Sprintf("comm: duplicate rank %d in group", id))
+		}
+		seen[id] = true
+		if id == r.ID() {
+			me = i
+		}
+	}
+	if me < 0 {
+		panic(fmt.Sprintf("comm: rank %d not in group %v", r.ID(), ranks))
+	}
+	return &Group{rank: r, ranks: ranks, me: me}
+}
+
+// Size returns the number of group members.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Index returns the caller's position within the group.
+func (g *Group) Index() int { return g.me }
+
+// tree computes the caller's parent and children in the binary tree
+// rooted at group index root.
+func (g *Group) tree(root int) (parent int, children []int) {
+	n := len(g.ranks)
+	rel := (g.me - root + n) % n
+	parent = -1
+	if rel > 0 {
+		parent = ((rel-1)/2 + root) % n
+	}
+	for _, c := range []int{2*rel + 1, 2*rel + 2} {
+		if c < n {
+			children = append(children, (c+root)%n)
+		}
+	}
+	return parent, children
+}
+
+// Bcast distributes data from the group member at index root to all
+// members along a binary tree and returns each member's copy. Only the
+// root's data argument is read; other members may pass nil.
+func (g *Group) Bcast(root int, data []float64, tag int) []float64 {
+	g.checkRoot(root)
+	if len(g.ranks) == 1 {
+		return data
+	}
+	parent, children := g.tree(root)
+	if parent >= 0 {
+		data = g.rank.Recv(g.ranks[parent], tag)
+	}
+	for _, c := range children {
+		g.rank.Send(g.ranks[c], tag, data)
+	}
+	return data
+}
+
+// Reduce sums the members' equally-sized data slices along a binary tree
+// into the member at index root, which receives the total; other members
+// return nil. data is not modified.
+func (g *Group) Reduce(root int, data []float64, tag int) []float64 {
+	g.checkRoot(root)
+	if len(g.ranks) == 1 {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	parent, children := g.tree(root)
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	for _, c := range children {
+		part := g.rank.Recv(g.ranks[c], tag)
+		if len(part) != len(acc) {
+			panic(fmt.Sprintf("comm: reduce length mismatch %d vs %d", len(part), len(acc)))
+		}
+		for i, v := range part {
+			acc[i] += v
+		}
+	}
+	if parent >= 0 {
+		g.rank.Send(g.ranks[parent], tag, acc)
+		return nil
+	}
+	return acc
+}
+
+// AllReduce sums the members' slices and distributes the total to every
+// member (reduce to index 0, then broadcast).
+func (g *Group) AllReduce(data []float64, tag int) []float64 {
+	total := g.Reduce(0, data, tag)
+	return g.Bcast(0, total, tag+1)
+}
+
+// Gather collects the members' slices at the member with index root,
+// concatenated in group order; other members return nil. Members may pass
+// slices of different lengths.
+func (g *Group) Gather(root int, data []float64, tag int) [][]float64 {
+	g.checkRoot(root)
+	if g.me != root {
+		g.rank.Send(g.ranks[root], tag, data)
+		return nil
+	}
+	out := make([][]float64, len(g.ranks))
+	for i, id := range g.ranks {
+		if i == root {
+			cp := make([]float64, len(data))
+			copy(cp, data)
+			out[i] = cp
+			continue
+		}
+		out[i] = g.rank.Recv(id, tag)
+	}
+	return out
+}
+
+// Scatter sends parts[i] from the root to member i and returns each
+// member's part. Only the root's parts argument is read.
+func (g *Group) Scatter(root int, parts [][]float64, tag int) []float64 {
+	g.checkRoot(root)
+	if g.me == root {
+		if len(parts) != len(g.ranks) {
+			panic(fmt.Sprintf("comm: scatter %d parts for %d members", len(parts), len(g.ranks)))
+		}
+		for i, id := range g.ranks {
+			if i == root {
+				continue
+			}
+			g.rank.Send(id, tag, parts[i])
+		}
+		cp := make([]float64, len(parts[root]))
+		copy(cp, parts[root])
+		return cp
+	}
+	return g.rank.Recv(g.ranks[root], tag)
+}
+
+func (g *Group) checkRoot(root int) {
+	if root < 0 || root >= len(g.ranks) {
+		panic(fmt.Sprintf("comm: root %d out of group of %d", root, len(g.ranks)))
+	}
+}
+
+// BcastVolume returns the total words a W-word binary-tree broadcast over
+// a group of n members moves (each non-root receives W once), and
+// ReduceVolume the same for a reduction. These are the model counterparts
+// used by the analytic cost models.
+func BcastVolume(n int, w float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n-1) * w
+}
+
+// ReduceVolume returns the total words moved by a W-word binary-tree
+// reduction over n members: every non-root sends its partial once.
+func ReduceVolume(n int, w float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n-1) * w
+}

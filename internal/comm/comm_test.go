@@ -1,0 +1,245 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+
+	"cosma/internal/machine"
+)
+
+func groupOf(r *machine.Rank, ids []int) *Group { return NewGroup(r, ids) }
+
+func TestBcastAllSizesAllRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < n; root++ {
+			m := machine.New(n)
+			payload := []float64{1, 2, 3, 4}
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = i
+			}
+			err := m.Run(func(r *machine.Rank) error {
+				g := groupOf(r, ids)
+				var data []float64
+				if g.Index() == root {
+					data = payload
+				}
+				got := g.Bcast(root, data, 10)
+				if len(got) != 4 || got[3] != 4 {
+					t.Errorf("n=%d root=%d rank=%d got %v", n, root, r.ID(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			// Tree broadcast volume: every non-root receives the payload
+			// exactly once.
+			var recv int64
+			for i := 0; i < n; i++ {
+				recv += m.Counters(i).RecvWords
+			}
+			if want := int64(4 * (n - 1)); recv != want {
+				t.Fatalf("n=%d root=%d: received %d words, want %d", n, root, recv, want)
+			}
+		}
+	}
+}
+
+func TestBcastSubsetGroup(t *testing.T) {
+	// A group over a strided subset of a larger machine.
+	m := machine.New(8)
+	ids := []int{1, 3, 5, 7}
+	err := m.Run(func(r *machine.Rank) error {
+		if r.ID()%2 == 0 {
+			return nil // not in the group
+		}
+		g := groupOf(r, ids)
+		var data []float64
+		if g.Index() == 2 {
+			data = []float64{42}
+		}
+		got := g.Bcast(2, data, 3)
+		if got[0] != 42 {
+			t.Errorf("rank %d got %v", r.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters(0).Volume() != 0 {
+		t.Fatal("non-member rank has traffic")
+	}
+}
+
+func TestReduceSums(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		for root := 0; root < n; root += 2 {
+			m := machine.New(n)
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = i
+			}
+			err := m.Run(func(r *machine.Rank) error {
+				g := groupOf(r, ids)
+				data := []float64{float64(r.ID()), 1}
+				got := g.Reduce(root, data, 5)
+				if g.Index() == root {
+					wantSum := float64(n*(n-1)) / 2
+					if got[0] != wantSum || got[1] != float64(n) {
+						t.Errorf("n=%d root=%d: got %v", n, root, got)
+					}
+				} else if got != nil {
+					t.Errorf("non-root got %v", got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestReduceDoesNotMutateInput(t *testing.T) {
+	m := machine.New(3)
+	ids := []int{0, 1, 2}
+	err := m.Run(func(r *machine.Rank) error {
+		g := groupOf(r, ids)
+		data := []float64{float64(r.ID() + 1)}
+		g.Reduce(0, data, 1)
+		if data[0] != float64(r.ID()+1) {
+			t.Errorf("rank %d input mutated to %v", r.ID(), data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	n := 6
+	m := machine.New(n)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	err := m.Run(func(r *machine.Rank) error {
+		g := groupOf(r, ids)
+		got := g.AllReduce([]float64{1, float64(r.ID())}, 20)
+		if got[0] != float64(n) || got[1] != 15 {
+			t.Errorf("rank %d AllReduce = %v", r.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	n := 5
+	m := machine.New(n)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	err := m.Run(func(r *machine.Rank) error {
+		g := groupOf(r, ids)
+		mine := []float64{float64(r.ID()) * 10}
+		parts := g.Gather(2, mine, 30)
+		if g.Index() == 2 {
+			for i, p := range parts {
+				if p[0] != float64(i)*10 {
+					t.Errorf("gathered parts %v", parts)
+				}
+			}
+		}
+		got := g.Scatter(2, parts, 31)
+		if got[0] != float64(r.ID())*10 {
+			t.Errorf("rank %d scatter returned %v", r.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceTreeVolumeMatchesModel(t *testing.T) {
+	n, w := 7, 16
+	m := machine.New(n)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	err := m.Run(func(r *machine.Rank) error {
+		g := groupOf(r, ids)
+		g.Reduce(0, make([]float64, w), 9)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent int64
+	for i := 0; i < n; i++ {
+		sent += m.Counters(i).SentWords
+	}
+	if want := int64(ReduceVolume(n, float64(w))); sent != want {
+		t.Fatalf("reduce moved %d words, model %d", sent, want)
+	}
+	if got := BcastVolume(1, 100); got != 0 {
+		t.Fatalf("BcastVolume(1) = %v", got)
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	m := machine.New(2)
+	err := m.Run(func(r *machine.Rank) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		for _, bad := range [][]int{{0, 0}, {1}} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("group %v should panic", bad)
+					}
+				}()
+				NewGroup(r, bad)
+			}()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesUnderRandomGroupOrder(t *testing.T) {
+	// Group member order is arbitrary; collectives must still work.
+	rng := rand.New(rand.NewSource(11))
+	n := 9
+	ids := rng.Perm(n)
+	m := machine.New(n)
+	err := m.Run(func(r *machine.Rank) error {
+		g := groupOf(r, ids)
+		var data []float64
+		if g.Index() == 4 {
+			data = []float64{7}
+		}
+		if got := g.Bcast(4, data, 2); got[0] != 7 {
+			t.Errorf("rank %d got %v", r.ID(), got)
+		}
+		sum := g.Reduce(1, []float64{1}, 3)
+		if g.Index() == 1 && sum[0] != float64(n) {
+			t.Errorf("reduce got %v", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package core implements COSMA (Algorithm 1): the parallel schedule
+// obtained by parallelizing the near-I/O-optimal sequential schedule.
+//
+// The decomposition is bottom-up (§3): the optimal local domain [a×a×b]
+// comes from Eq. 32, the processor grid from the §7.1 fitting step that
+// may idle up to δ·p ranks, and execution proceeds in latency-minimizing
+// rounds of s = ⌊(S−a²)/(2a)⌋ outer products (Algorithm 1 line 6), with
+// inputs broadcast along grid rows/columns from the blocked data layout
+// (§7.6) and partial C results reduced along the k fibers.
+package core
+
+import (
+	"fmt"
+
+	"cosma/internal/algo"
+	"cosma/internal/comm"
+	"cosma/internal/grid"
+	"cosma/internal/layout"
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// DefaultDelta is the default idle-rank tolerance of the grid fitting
+// step, matching the paper's Piz Daint experiments (§7.1).
+const DefaultDelta = 0.03
+
+// COSMA is the communication-optimal S-partition-based algorithm.
+type COSMA struct {
+	// Delta is the grid-fitting idle tolerance; zero means DefaultDelta.
+	Delta float64
+}
+
+// Name implements algo.Runner.
+func (c *COSMA) Name() string { return "COSMA" }
+
+func (c *COSMA) delta() float64 {
+	if c.Delta == 0 {
+		return DefaultDelta
+	}
+	return c.Delta
+}
+
+// tags for the communication rounds.
+const (
+	tagA = 1 << 20
+	tagB = 2 << 20
+	tagC = 3 << 20
+)
+
+// Run multiplies a·b on a simulated machine of p ranks with s words of
+// local memory each. The returned matrix is assembled from the ranks'
+// distributed output tiles.
+func (c *COSMA) Run(a, b *matrix.Dense, p, s int) (*matrix.Dense, *algo.Report, error) {
+	if a.Cols != b.Rows {
+		return nil, nil, fmt.Errorf("core: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	g := grid.Fit(m, n, k, p, s, c.delta())
+
+	mach := machine.New(p)
+	tiles := make([]*matrix.Dense, p) // final C tiles, indexed by rank
+	err := mach.Run(func(r *machine.Rank) error {
+		if r.ID() >= g.Ranks() {
+			return nil // idle rank left out by the grid fitting
+		}
+		tile := c.rankProgram(r, g, a, b, s)
+		tiles[r.ID()] = tile
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := matrix.New(m, n)
+	for id := 0; id < g.Ranks(); id++ {
+		if tiles[id] == nil {
+			continue
+		}
+		im, in, _ := g.Coords(id)
+		rows := layout.Block(m, g.Pm, im)
+		cols := layout.Block(n, g.Pn, in)
+		out.View(rows.Lo, cols.Lo, rows.Len(), cols.Len()).CopyFrom(tiles[id])
+	}
+	report := algo.NewReport(c.Name(), g.String(), mach, g.Ranks(), c.Model(m, n, k, p, s))
+	return out, report, nil
+}
+
+// rankProgram is one rank's part of Algorithm 1. It returns the rank's
+// final C tile if it is a fiber root (ik == 0), else nil.
+func (c *COSMA) rankProgram(r *machine.Rank, g grid.Grid, a, b *matrix.Dense, s int) *matrix.Dense {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	im, in, ik := g.Coords(r.ID())
+	rows := layout.Block(m, g.Pm, im) // my M range
+	cols := layout.Block(n, g.Pn, in) // my N range
+	slab := layout.Block(k, g.Pk, ik) // my K range
+	dm, dn := rows.Len(), cols.Len()
+
+	rowGroup := comm.NewGroup(r, g.RowGroup(in, ik)) // shares the B panel... see below
+	colGroup := comm.NewGroup(r, g.ColGroup(im, ik)) // shares the A panel
+	fiber := comm.NewGroup(r, g.FiberGroup(im, in))  // C reduction group
+
+	// Blocked initial layout (§7.6): the A panel rows×slab is divided by
+	// k among the pn members of my column group (the ranks that need it);
+	// the B panel slab×cols among the pm members of my row group.
+	aParts := layout.Split(slab.Len(), g.Pn)
+	bParts := layout.Split(slab.Len(), g.Pm)
+	myA := a.View(rows.Lo, slab.Lo+aParts[in].Lo, dm, aParts[in].Len()).Clone()
+	myB := b.View(slab.Lo+bParts[im].Lo, cols.Lo, bParts[im].Len(), dn).Clone()
+
+	cTile := matrix.New(dm, dn)
+	// The step must be identical across every member of the broadcast
+	// groups, so it is computed from the grid-wide tile bounds rather
+	// than this rank's (possibly smaller, boundary) tile.
+	dmMax, dnMax, _ := g.LocalDims(m, n, a.Cols)
+	step := stepSize(s, dmMax, dnMax)
+
+	// Walk the slab over the union breakpoints of the A and B ownership
+	// partitions, sub-chunked to the latency-minimizing step, so each
+	// round broadcasts one owner's contiguous k-range of each panel.
+	for _, seg := range segments(slab.Len(), aParts, bParts, step) {
+		aOwner := ownerOf(aParts, seg.Lo)
+		bOwner := ownerOf(bParts, seg.Lo)
+
+		var aChunk []float64
+		if in == aOwner {
+			aChunk = myA.View(0, seg.Lo-aParts[aOwner].Lo, dm, seg.Len()).Pack(nil)
+		}
+		aChunk = colGroup.Bcast(aOwner, aChunk, tagA+seg.Lo)
+
+		var bChunk []float64
+		if im == bOwner {
+			bChunk = myB.View(seg.Lo-bParts[bOwner].Lo, 0, seg.Len(), dn).Pack(nil)
+		}
+		bChunk = rowGroup.Bcast(bOwner, bChunk, tagB+seg.Lo)
+
+		matrix.Mul(cTile,
+			matrix.FromSlice(dm, seg.Len(), aChunk),
+			matrix.FromSlice(seg.Len(), dn, bChunk))
+	}
+
+	// Reduce the partial C tiles along the fiber to the ik = 0 root.
+	sum := fiber.Reduce(0, cTile.Data, tagC)
+	if ik != 0 {
+		return nil
+	}
+	return matrix.FromSlice(dm, dn, sum)
+}
+
+// stepSize is the latency-minimizing number of outer products per round
+// generalized to rectangular dm×dn tiles: the free memory after the
+// resident C tile is spent on one dm×h A chunk and one h×dn B chunk.
+func stepSize(s, dm, dn int) int {
+	h := (s - dm*dn) / (dm + dn)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// segments partitions [0, extent) at every boundary of either ownership
+// partition and then sub-chunks each piece to at most step.
+func segments(extent int, aParts, bParts []layout.Range, step int) []layout.Range {
+	cuts := map[int]bool{0: true, extent: true}
+	for _, r := range aParts {
+		cuts[r.Lo] = true
+	}
+	for _, r := range bParts {
+		cuts[r.Lo] = true
+	}
+	points := make([]int, 0, len(cuts))
+	for c := range cuts {
+		points = append(points, c)
+	}
+	sortInts(points)
+	var out []layout.Range
+	for i := 0; i+1 < len(points); i++ {
+		for lo := points[i]; lo < points[i+1]; lo += step {
+			hi := lo + step
+			if hi > points[i+1] {
+				hi = points[i+1]
+			}
+			out = append(out, layout.Range{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// ownerOf returns the index of the partition member containing position x.
+func ownerOf(parts []layout.Range, x int) int {
+	for i, r := range parts {
+		if x >= r.Lo && x < r.Hi {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: position %d outside partition", x))
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Model implements algo.Runner: the analytic prediction derived from the
+// same grid fitting and round structure as Run.
+func (c *COSMA) Model(m, n, k, p, s int) algo.Model {
+	g := grid.Fit(m, n, k, p, s, c.delta())
+	dm, dn, dk := g.LocalDims(m, n, k)
+	step := stepSize(s, dm, dn)
+	rounds := float64(ceilDiv(dk, step))
+	maxRecv := float64(dm*dk)*float64(g.Pn-1)/float64(g.Pn) +
+		float64(dk*dn)*float64(g.Pm-1)/float64(g.Pm)
+	if g.Pk > 1 {
+		// A tree-interior fiber member receives up to two child tiles.
+		maxRecv += 2 * float64(dm*dn)
+	}
+	avg := g.ModelVolume(m, n, k) * float64(g.Ranks()) / float64(p)
+	return algo.Model{
+		Name:     c.Name(),
+		Grid:     g.String(),
+		Used:     g.Ranks(),
+		AvgRecv:  avg,
+		MaxRecv:  maxRecv,
+		MaxMsgs:  2*rounds + 2*float64(log2Ceil(g.Pk)),
+		MaxFlops: 2 * float64(dm) * float64(dn) * float64(dk),
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func log2Ceil(x int) int {
+	n := 0
+	for v := 1; v < x; v <<= 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+func TestSplitBalanced(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		extent := r.Intn(1000)
+		parts := 1 + r.Intn(20)
+		rs := Split(extent, parts)
+		if len(rs) != parts {
+			return false
+		}
+		// Contiguous cover, balanced lengths.
+		pos := 0
+		minLen, maxLen := extent+1, -1
+		for _, rr := range rs {
+			if rr.Lo != pos {
+				return false
+			}
+			pos = rr.Hi
+			if rr.Len() < minLen {
+				minLen = rr.Len()
+			}
+			if rr.Len() > maxLen {
+				maxLen = rr.Len()
+			}
+		}
+		return pos == extent && maxLen-minLen <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	a := Range{2, 8}
+	if got := a.Intersect(Range{5, 12}); got != (Range{5, 8}) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Intersect(Range{9, 12}); got.Len() != 0 {
+		t.Fatalf("disjoint intersect = %v", got)
+	}
+}
+
+func TestMoveRebalance(t *testing.T) {
+	// 8 rows over 4 ranks → the first 2 ranks (half the team).
+	p := 4
+	rows, cols := 8, 3
+	rng := rand.New(rand.NewSource(1))
+	global := matrix.Random(rows, cols, rng)
+	m := machine.New(p)
+	got := make([]*matrix.Dense, p)
+	src := RowDist{Rows: rows, Team: []int{0, 1, 2, 3}}
+	dst := RowDist{Rows: rows, Team: []int{0, 1}}
+	err := m.Run(func(r *machine.Rank) error {
+		band := src.Band(r.ID())
+		local := global.View(band.Lo, 0, band.Len(), cols).Clone()
+		got[r.ID()] = Move(r, src, local, dst, Range{0, cols}, 5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		band := dst.Band(i)
+		want := global.View(band.Lo, 0, band.Len(), cols)
+		if matrix.MaxDiff(got[i], want.Clone()) != 0 {
+			t.Fatalf("rank %d block wrong", i)
+		}
+	}
+	if got[2] != nil || got[3] != nil {
+		t.Fatal("non-members received blocks")
+	}
+}
+
+func TestMoveColumnSlice(t *testing.T) {
+	// Narrow to a column range while redistributing to a disjoint team.
+	rows, cols := 6, 10
+	rng := rand.New(rand.NewSource(2))
+	global := matrix.Random(rows, cols, rng)
+	m := machine.New(4)
+	got := make([]*matrix.Dense, 4)
+	src := RowDist{Rows: rows, Team: []int{0, 1}}
+	dst := RowDist{Rows: rows, Team: []int{2, 3}}
+	colRange := Range{4, 9}
+	err := m.Run(func(r *machine.Rank) error {
+		var local *matrix.Dense
+		if r.ID() < 2 {
+			band := src.Band(r.ID())
+			local = global.View(band.Lo, 0, band.Len(), cols).Clone()
+		}
+		got[r.ID()] = Move(r, src, local, dst, colRange, 9)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 4; i++ {
+		band := dst.Band(i - 2)
+		want := global.View(band.Lo, colRange.Lo, band.Len(), colRange.Len()).Clone()
+		if matrix.MaxDiff(got[i], want) != 0 {
+			t.Fatalf("rank %d slice wrong", i)
+		}
+	}
+}
+
+func TestMoveSelfOverlapFree(t *testing.T) {
+	// Identical src and dst team: no traffic should be counted.
+	rows, cols := 8, 2
+	rng := rand.New(rand.NewSource(3))
+	global := matrix.Random(rows, cols, rng)
+	m := machine.New(2)
+	dist := RowDist{Rows: rows, Team: []int{0, 1}}
+	err := m.Run(func(r *machine.Rank) error {
+		band := dist.Band(r.ID())
+		local := global.View(band.Lo, 0, band.Len(), cols).Clone()
+		out := Move(r, dist, local, dist, Range{0, cols}, 1)
+		if matrix.MaxDiff(out, local) != 0 {
+			t.Errorf("rank %d: self move changed data", r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalVolume() != 0 {
+		t.Fatalf("self move counted %d words", m.TotalVolume())
+	}
+}
+
+func TestBlockCyclicOwnerAndLocalIndex(t *testing.T) {
+	b := BlockCyclic{R: 10, C: 10, RB: 2, CB: 3, PR: 2, PC: 2}
+	// Element (0,0): block (0,0) → process (0,0), local (0,0).
+	if pr, pc := b.Owner(0, 0); pr != 0 || pc != 0 {
+		t.Fatalf("Owner(0,0) = (%d,%d)", pr, pc)
+	}
+	// Element (2,0): row block 1 → pr = 1.
+	if pr, _ := b.Owner(2, 0); pr != 1 {
+		t.Fatalf("Owner(2,0) wrong row owner")
+	}
+	// Element (4,0): row block 2 → pr = 0 again, second local row block.
+	if pr, _ := b.Owner(4, 0); pr != 0 {
+		t.Fatal("cyclic wrap wrong")
+	}
+	li, _ := b.LocalIndex(4, 0)
+	if li != 2 {
+		t.Fatalf("LocalIndex(4,0) row = %d, want 2", li)
+	}
+}
+
+func TestBlockCyclicSizesCoverMatrix(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := BlockCyclic{
+			R: 1 + r.Intn(40), C: 1 + r.Intn(40),
+			RB: 1 + r.Intn(5), CB: 1 + r.Intn(5),
+			PR: 1 + r.Intn(4), PC: 1 + r.Intn(4),
+		}
+		// Sum of local rows over pr at fixed pc must equal R (same for C).
+		total := 0
+		for pr := 0; pr < b.PR; pr++ {
+			rows, _ := b.LocalSize(pr, 0)
+			total += rows
+		}
+		if total != b.R {
+			return false
+		}
+		total = 0
+		for pc := 0; pc < b.PC; pc++ {
+			_, cols := b.LocalSize(0, pc)
+			total += cols
+		}
+		return total == b.C
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCyclicDistributeCollectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range []BlockCyclic{
+		{R: 9, C: 7, RB: 2, CB: 2, PR: 2, PC: 3},
+		{R: 16, C: 16, RB: 4, CB: 4, PR: 2, PC: 2},
+		{R: 5, C: 5, RB: 3, CB: 1, PR: 2, PC: 4},
+	} {
+		global := matrix.Random(c.R, c.C, rng)
+		locals := c.Distribute(global)
+		back := c.Collect(locals)
+		if matrix.MaxDiff(global, back) != 0 {
+			t.Fatalf("%+v: round trip failed", c)
+		}
+		// Local sizes must match the descriptor math.
+		for pr := 0; pr < c.PR; pr++ {
+			for pc := 0; pc < c.PC; pc++ {
+				r, cc := c.LocalSize(pr, pc)
+				if locals[pr][pc].Rows != r || locals[pr][pc].Cols != cc {
+					t.Fatalf("%+v: local (%d,%d) is %d×%d, descriptor says %d×%d",
+						c, pr, pc, locals[pr][pc].Rows, locals[pr][pc].Cols, r, cc)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package layout
+
+import (
+	"fmt"
+
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// ToBlocked redistributes a matrix stored block-cyclically (the
+// ScaLAPACK format, §7.6) into the contiguous blocked layout COSMA
+// consumes: pm×pn blocks, block (bi, bj) holding the balanced row range
+// Block(R, pm, bi) × column range Block(C, pn, bj).
+//
+// Every rank of the machine calls ToBlocked. srcPos maps the caller to
+// its position on the block-cyclic process grid (or (-1, -1) if it holds
+// no part of the source); bcLocal is its local block-cyclic array.
+// dstBlock maps the caller to its target block coordinates (or (-1, -1)).
+// srcRank and dstRank are the inverse mappings, identical on every rank.
+// The result is the caller's blocked tile, or nil.
+//
+// One message flows per (source, destination) rank pair with any overlap,
+// carrying the overlap elements in global row-major order — the
+// measured traffic is exactly the words that change ranks, which is the
+// §7.6 "minimal local data reshuffling" cost of ScaLAPACK ingestion.
+func ToBlocked(r *machine.Rank, bc BlockCyclic, bcLocal *matrix.Dense,
+	srcPos func(rank int) (pr, pc int), srcRank func(pr, pc int) int,
+	pm, pn int, dstBlock func(rank int) (bi, bj int), dstRank func(bi, bj int) int,
+	tag int) *matrix.Dense {
+
+	if pm < 1 || pn < 1 {
+		panic(fmt.Sprintf("layout: blocked grid %d×%d", pm, pn))
+	}
+
+	// Send phase: bucket my local elements by destination block.
+	if myPR, myPC := srcPos(r.ID()); myPR >= 0 {
+		if bcLocal == nil {
+			panic("layout: source position without a local array")
+		}
+		for bi := 0; bi < pm; bi++ {
+			rows := Block(bc.R, pm, bi)
+			for bj := 0; bj < pn; bj++ {
+				cols := Block(bc.C, pn, bj)
+				payload := collectOwned(bc, bcLocal, myPR, myPC, rows, cols)
+				if len(payload) == 0 {
+					continue
+				}
+				r.Send(dstRank(bi, bj), tag, payload)
+			}
+		}
+	}
+
+	// Receive phase: reconstruct my blocked tile.
+	bi, bj := dstBlock(r.ID())
+	if bi < 0 {
+		return nil
+	}
+	rows := Block(bc.R, pm, bi)
+	cols := Block(bc.C, pn, bj)
+	tile := matrix.New(rows.Len(), cols.Len())
+	for pr := 0; pr < bc.PR; pr++ {
+		for pc := 0; pc < bc.PC; pc++ {
+			count := countOwned(bc, pr, pc, rows, cols)
+			if count == 0 {
+				continue
+			}
+			data := r.Recv(srcRank(pr, pc), tag)
+			if len(data) != count {
+				panic(fmt.Sprintf("layout: expected %d words from (%d,%d), got %d",
+					count, pr, pc, len(data)))
+			}
+			// Refill in the same global row-major order the sender used.
+			idx := 0
+			for i := rows.Lo; i < rows.Hi; i++ {
+				for j := cols.Lo; j < cols.Hi; j++ {
+					if opr, opc := bc.Owner(i, j); opr == pr && opc == pc {
+						tile.Set(i-rows.Lo, j-cols.Lo, data[idx])
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return tile
+}
+
+// collectOwned packs, in global row-major order, the elements of the
+// rows×cols region that the block-cyclic position (pr, pc) owns.
+func collectOwned(bc BlockCyclic, local *matrix.Dense, pr, pc int, rows, cols Range) []float64 {
+	var out []float64
+	for i := rows.Lo; i < rows.Hi; i++ {
+		for j := cols.Lo; j < cols.Hi; j++ {
+			if opr, opc := bc.Owner(i, j); opr == pr && opc == pc {
+				li, lj := bc.LocalIndex(i, j)
+				out = append(out, local.At(li, lj))
+			}
+		}
+	}
+	return out
+}
+
+// countOwned counts the rows×cols elements owned by (pr, pc).
+func countOwned(bc BlockCyclic, pr, pc int, rows, cols Range) int {
+	n := 0
+	for i := rows.Lo; i < rows.Hi; i++ {
+		for j := cols.Lo; j < cols.Hi; j++ {
+			if opr, opc := bc.Owner(i, j); opr == pr && opc == pc {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// runToBlocked executes the ScaLAPACK-format ingestion on a machine where
+// ranks [0, PR·PC) hold the block-cyclic source and ranks [0, pm·pn) own
+// the destination blocks (the two sets overlap, as in a real in-place
+// redistribution).
+func runToBlocked(t *testing.T, bc BlockCyclic, pm, pn int) (*machine.Machine, []*matrix.Dense, *matrix.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	global := matrix.Random(bc.R, bc.C, rng)
+	locals := bc.Distribute(global)
+
+	p := bc.PR * bc.PC
+	if pm*pn > p {
+		p = pm * pn
+	}
+	mach := machine.New(p)
+	tiles := make([]*matrix.Dense, p)
+	err := mach.Run(func(r *machine.Rank) error {
+		srcPos := func(rank int) (int, int) {
+			if rank >= bc.PR*bc.PC {
+				return -1, -1
+			}
+			return rank / bc.PC, rank % bc.PC
+		}
+		var local *matrix.Dense
+		if pr, pc := srcPos(r.ID()); pr >= 0 {
+			local = locals[pr][pc]
+		}
+		tiles[r.ID()] = ToBlocked(r, bc, local,
+			srcPos,
+			func(pr, pc int) int { return pr*bc.PC + pc },
+			pm, pn,
+			func(rank int) (int, int) {
+				if rank >= pm*pn {
+					return -1, -1
+				}
+				return rank / pn, rank % pn
+			},
+			func(bi, bj int) int { return bi*pn + bj },
+			77)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach, tiles, global
+}
+
+func TestToBlockedRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		bc     BlockCyclic
+		pm, pn int
+	}{
+		{BlockCyclic{R: 16, C: 16, RB: 2, CB: 2, PR: 2, PC: 2}, 2, 2},
+		{BlockCyclic{R: 17, C: 13, RB: 3, CB: 2, PR: 2, PC: 3}, 3, 2},
+		{BlockCyclic{R: 8, C: 8, RB: 1, CB: 1, PR: 2, PC: 2}, 4, 1},
+		{BlockCyclic{R: 10, C: 10, RB: 4, CB: 4, PR: 1, PC: 1}, 2, 2},
+	} {
+		_, tiles, global := runToBlocked(t, c.bc, c.pm, c.pn)
+		for bi := 0; bi < c.pm; bi++ {
+			rows := Block(c.bc.R, c.pm, bi)
+			for bj := 0; bj < c.pn; bj++ {
+				cols := Block(c.bc.C, c.pn, bj)
+				got := tiles[bi*c.pn+bj]
+				want := global.View(rows.Lo, cols.Lo, rows.Len(), cols.Len()).Clone()
+				if got == nil || matrix.MaxDiff(got, want) != 0 {
+					t.Fatalf("%+v: block (%d,%d) wrong", c, bi, bj)
+				}
+			}
+		}
+	}
+}
+
+func TestToBlockedTrafficBounded(t *testing.T) {
+	// Total moved words can never exceed the matrix size; words already on
+	// the right rank are free.
+	bc := BlockCyclic{R: 24, C: 24, RB: 3, CB: 3, PR: 2, PC: 2}
+	mach, _, _ := runToBlocked(t, bc, 2, 2)
+	if total := mach.TotalVolume(); total > int64(bc.R*bc.C) {
+		t.Fatalf("moved %d words for a %d-word matrix", total, bc.R*bc.C)
+	}
+}
+
+func TestToBlockedIdentityLayoutIsFree(t *testing.T) {
+	// PR=PC=1 block-cyclic with pm=pn=1 blocked on the same rank: the
+	// whole matrix stays put — zero traffic.
+	bc := BlockCyclic{R: 6, C: 6, RB: 2, CB: 2, PR: 1, PC: 1}
+	mach, tiles, global := runToBlocked(t, bc, 1, 1)
+	if mach.TotalVolume() != 0 {
+		t.Fatalf("identity redistribution moved %d words", mach.TotalVolume())
+	}
+	if matrix.MaxDiff(tiles[0], global) != 0 {
+		t.Fatal("identity redistribution corrupted data")
+	}
+}

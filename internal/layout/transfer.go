@@ -1,0 +1,105 @@
+package layout
+
+import (
+	"fmt"
+
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// Transfer copies (or accumulates) the sub-block srcRows×srcCols of a
+// row-distributed source matrix into the destination matrix at offset
+// (dstRow, dstCol), where the destination is row-distributed over its own
+// team. Every rank belonging to either team must call Transfer with
+// identical metadata; srcLocal is the caller's source band (nil if not a
+// source member) and dstLocal the caller's destination band (nil if not a
+// destination member), which is written in place.
+//
+// Source row sr ∈ srcRows maps to destination row dstRow + (sr −
+// srcRows.Lo). Only words whose source and destination bands live on
+// different ranks generate traffic; aligned redistributions (such as
+// splitting a row block together with its team, the CARMA m-split) are
+// free, exactly as in a real implementation with a blocked layout.
+//
+// tag must be unique per Transfer call site; pieces between a (src, dst)
+// rank pair within one call form a single message.
+func Transfer(r *machine.Rank, src RowDist, srcLocal *matrix.Dense, srcRows, srcCols Range,
+	dst RowDist, dstRow, dstCol int, dstLocal *matrix.Dense, accumulate bool, tag int) {
+	if srcRows.Lo < 0 || srcRows.Hi > src.Rows || srcRows.Lo > srcRows.Hi {
+		panic(fmt.Sprintf("layout: source rows %v out of %d", srcRows, src.Rows))
+	}
+	if dstRow < 0 || dstRow+srcRows.Len() > dst.Rows {
+		panic(fmt.Sprintf("layout: destination rows [%d,%d) out of %d",
+			dstRow, dstRow+srcRows.Len(), dst.Rows))
+	}
+	shift := dstRow - srcRows.Lo // sr + shift = destination row
+
+	srcIdx := src.indexOf(r.ID())
+	dstIdx := dst.indexOf(r.ID())
+
+	if srcIdx >= 0 {
+		if srcLocal == nil {
+			panic("layout: Transfer source member without local block")
+		}
+		myBand := src.Band(srcIdx)
+		if srcLocal.Rows != myBand.Len() {
+			panic(fmt.Sprintf("layout: source block has %d rows, band %d", srcLocal.Rows, myBand.Len()))
+		}
+		if srcCols.Lo < 0 || srcCols.Hi > srcLocal.Cols {
+			panic(fmt.Sprintf("layout: source cols %v out of %d", srcCols, srcLocal.Cols))
+		}
+		avail := myBand.Intersect(srcRows)
+		for j, dstID := range dst.Team {
+			// Destination band mapped back into source row coordinates.
+			need := dst.Band(j)
+			needSrc := Range{Lo: need.Lo - shift, Hi: need.Hi - shift}
+			over := avail.Intersect(needSrc)
+			if over.Len() == 0 {
+				continue
+			}
+			if dstID == r.ID() {
+				continue // local copy handled on the receive side
+			}
+			piece := srcLocal.View(over.Lo-myBand.Lo, srcCols.Lo, over.Len(), srcCols.Len())
+			r.Send(dstID, tag, piece.Pack(nil))
+		}
+	}
+
+	if dstIdx < 0 {
+		return
+	}
+	if dstLocal == nil {
+		panic("layout: Transfer destination member without local block")
+	}
+	myBand := dst.Band(dstIdx)
+	if dstLocal.Rows != myBand.Len() {
+		panic(fmt.Sprintf("layout: destination block has %d rows, band %d", dstLocal.Rows, myBand.Len()))
+	}
+	if dstCol < 0 || dstCol+srcCols.Len() > dstLocal.Cols {
+		panic(fmt.Sprintf("layout: destination cols [%d,%d) out of %d",
+			dstCol, dstCol+srcCols.Len(), dstLocal.Cols))
+	}
+	target := Range{Lo: srcRows.Lo + shift, Hi: srcRows.Hi + shift}
+	for i, srcID := range src.Team {
+		availDst := src.Band(i)
+		availDst = Range{Lo: availDst.Lo + shift, Hi: availDst.Hi + shift}
+		over := myBand.Intersect(availDst).Intersect(target)
+		if over.Len() == 0 {
+			continue
+		}
+		var piece *matrix.Dense
+		if srcID == r.ID() {
+			// Local copy: slice my own source band directly.
+			srcBand := src.Band(srcIdx)
+			piece = srcLocal.View(over.Lo-shift-srcBand.Lo, srcCols.Lo, over.Len(), srcCols.Len())
+		} else {
+			piece = matrix.FromSlice(over.Len(), srcCols.Len(), r.Recv(srcID, tag))
+		}
+		dstView := dstLocal.View(over.Lo-myBand.Lo, dstCol, over.Len(), srcCols.Len())
+		if accumulate {
+			dstView.Add(piece)
+		} else {
+			dstView.CopyFrom(piece)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package machine simulates the paper's distributed machine model (§2.1):
+// p processors, each with a private local memory of S words, exchanging
+// messages over a network. Every rank runs as a goroutine; messages are
+// matched MPI-style on (source, tag) with unbounded eager buffering, so
+// any schedule with matching sends and receives executes deterministically
+// and without artificial deadlock.
+//
+// The machine counts, per rank, the words and messages sent and received —
+// the horizontal I/O cost Q and latency cost L of §2.3, i.e. what the
+// paper measures with the mpiP profiler. It substitutes for MPI on a real
+// interconnect: communication volume is a property of the schedule, not of
+// the wire, so counting words that cross rank boundaries in-process yields
+// the same per-rank volumes.
+package machine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Counters aggregates one rank's traffic.
+type Counters struct {
+	SentWords int64 // float64 words sent to other ranks
+	RecvWords int64 // float64 words received from other ranks
+	SentMsgs  int64 // messages sent
+	RecvMsgs  int64 // messages received
+}
+
+// Volume returns the rank's total communication volume in words
+// (sent + received), the per-rank quantity reported in Table 4.
+func (c Counters) Volume() int64 { return c.SentWords + c.RecvWords }
+
+type message struct {
+	src  int
+	tag  int
+	data []float64
+}
+
+// mailbox is one rank's unbounded receive queue.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+// Machine is a simulated distributed machine of p ranks.
+type Machine struct {
+	p       int
+	boxes   []*mailbox
+	count   []Counters
+	barrier *barrier
+}
+
+// New returns a machine with p ranks.
+func New(p int) *Machine {
+	if p < 1 {
+		panic(fmt.Sprintf("machine: p = %d must be ≥ 1", p))
+	}
+	m := &Machine{
+		p:       p,
+		boxes:   make([]*mailbox, p),
+		count:   make([]Counters, p),
+		barrier: newBarrier(p),
+	}
+	for i := range m.boxes {
+		b := &mailbox{}
+		b.cond = sync.NewCond(&b.mu)
+		m.boxes[i] = b
+	}
+	return m
+}
+
+// P returns the number of ranks.
+func (m *Machine) P() int { return m.p }
+
+// Run executes program on every rank concurrently and waits for all of
+// them. A panic in any rank is recovered and reported as an error; the
+// first error (by rank order) is returned. Counters reset at the start of
+// each Run.
+func (m *Machine) Run(program func(r *Rank) error) error {
+	for i := range m.count {
+		m.count[i] = Counters{}
+	}
+	errs := make([]error, m.p)
+	var wg sync.WaitGroup
+	wg.Add(m.p)
+	for id := 0; id < m.p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[id] = fmt.Errorf("machine: rank %d panicked: %v\n%s", id, r, debug.Stack())
+					// Unblock ranks waiting on this one at a barrier.
+					m.barrier.poison()
+				}
+			}()
+			errs[id] = program(&Rank{m: m, id: id})
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counters returns rank id's traffic from the last Run.
+func (m *Machine) Counters(id int) Counters { return m.count[id] }
+
+// TotalVolume returns the machine-wide communication volume in words
+// (every word counted once at the sender and once at the receiver, then
+// halved).
+func (m *Machine) TotalVolume() int64 {
+	var total int64
+	for _, c := range m.count {
+		total += c.Volume()
+	}
+	return total / 2
+}
+
+// MaxVolume returns the largest per-rank volume in words.
+func (m *Machine) MaxVolume() int64 {
+	var max int64
+	for _, c := range m.count {
+		if v := c.Volume(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// AvgVolume returns the mean per-rank volume in words.
+func (m *Machine) AvgVolume() float64 {
+	var total int64
+	for _, c := range m.count {
+		total += c.Volume()
+	}
+	return float64(total) / float64(m.p)
+}
+
+// AvgRecv returns the mean per-rank received words — the "MB communicated
+// per core" metric of Figures 6–7 and Table 4.
+func (m *Machine) AvgRecv() float64 {
+	var total int64
+	for _, c := range m.count {
+		total += c.RecvWords
+	}
+	return float64(total) / float64(m.p)
+}
+
+// MaxRecv returns the largest per-rank received word count.
+func (m *Machine) MaxRecv() int64 {
+	var max int64
+	for _, c := range m.count {
+		if c.RecvWords > max {
+			max = c.RecvWords
+		}
+	}
+	return max
+}
+
+// MaxMessages returns the largest per-rank message count (sent +
+// received), the latency proxy L of §2.3.
+func (m *Machine) MaxMessages() int64 {
+	var max int64
+	for _, c := range m.count {
+		if v := c.SentMsgs + c.RecvMsgs; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Rank is one process of a running program. A Rank value is only valid
+// inside the goroutine Run created it for.
+type Rank struct {
+	m  *Machine
+	id int
+}
+
+// ID returns this rank's id in [0, P).
+func (r *Rank) ID() int { return r.id }
+
+// P returns the machine size.
+func (r *Rank) P() int { return r.m.p }
+
+// Send delivers a copy of data to rank dst with the given tag. Sending to
+// oneself is a local copy and is not counted as communication. Send never
+// blocks (eager unbounded buffering).
+func (r *Rank) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= r.m.p {
+		panic(fmt.Sprintf("machine: rank %d sends to invalid rank %d", r.id, dst))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	if dst != r.id {
+		r.m.count[r.id].SentWords += int64(len(data))
+		r.m.count[r.id].SentMsgs++
+	}
+	box := r.m.boxes[dst]
+	box.mu.Lock()
+	box.queue = append(box.queue, message{src: r.id, tag: tag, data: cp})
+	box.mu.Unlock()
+	box.cond.Broadcast()
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Messages from the same source with the same tag are
+// delivered in send order. Receiving from oneself returns the locally
+// sent copy and is not counted.
+func (r *Rank) Recv(src, tag int) []float64 {
+	if src < 0 || src >= r.m.p {
+		panic(fmt.Sprintf("machine: rank %d receives from invalid rank %d", r.id, src))
+	}
+	box := r.m.boxes[r.id]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		for i, msg := range box.queue {
+			if msg.src == src && msg.tag == tag {
+				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				if src != r.id {
+					r.m.count[r.id].RecvWords += int64(len(msg.data))
+					r.m.count[r.id].RecvMsgs++
+				}
+				return msg.data
+			}
+		}
+		box.cond.Wait()
+	}
+}
+
+// SendRecv sends sendData to dst and receives from src with the same tag,
+// without deadlocking for any pairing pattern.
+func (r *Rank) SendRecv(dst int, sendData []float64, src, tag int) []float64 {
+	r.Send(dst, tag, sendData)
+	return r.Recv(src, tag)
+}
+
+// Barrier blocks until every rank of the machine has reached it.
+func (r *Rank) Barrier() {
+	if err := r.m.barrier.await(); err != nil {
+		panic(err)
+	}
+}
+
+// barrier is a reusable p-party barrier. poison releases all waiters with
+// an error after a rank dies, so Run can terminate.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	waiting  int
+	round    int
+	poisoned bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		return fmt.Errorf("machine: barrier poisoned by a failed rank")
+	}
+	round := b.round
+	b.waiting++
+	if b.waiting == b.n {
+		b.waiting = 0
+		b.round++
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.round == round && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		return fmt.Errorf("machine: barrier poisoned by a failed rank")
+	}
+	return nil
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

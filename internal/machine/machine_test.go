@@ -1,0 +1,261 @@
+package machine
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPingPong(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 7, []float64{1, 2, 3})
+			got := r.Recv(1, 8)
+			if len(got) != 2 || got[0] != 4 {
+				t.Errorf("rank 0 got %v", got)
+			}
+		} else {
+			got := r.Recv(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("rank 1 got %v", got)
+			}
+			r.Send(0, 8, []float64{4, 5})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := m.Counters(0), m.Counters(1)
+	if c0.SentWords != 3 || c0.RecvWords != 2 || c0.SentMsgs != 1 || c0.RecvMsgs != 1 {
+		t.Fatalf("rank 0 counters %+v", c0)
+	}
+	if c1.SentWords != 2 || c1.RecvWords != 3 {
+		t.Fatalf("rank 1 counters %+v", c1)
+	}
+	if m.TotalVolume() != 5 {
+		t.Fatalf("TotalVolume = %d, want 5", m.TotalVolume())
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			buf := []float64{1, 2}
+			r.Send(1, 0, buf)
+			buf[0] = 99 // mutate after send; receiver must see the original
+		} else {
+			got := r.Recv(0, 0)
+			if got[0] != 1 {
+				t.Errorf("receiver saw mutated buffer: %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	m := New(3)
+	err := m.Run(func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			r.Send(2, 5, []float64{10})
+		case 1:
+			r.Send(2, 6, []float64{20})
+		case 2:
+			// Receive in the opposite order of arrival possibilities.
+			b := r.Recv(1, 6)
+			a := r.Recv(0, 5)
+			if a[0] != 10 || b[0] != 20 {
+				t.Errorf("got %v %v", a, b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInOrderDeliveryPerSourceTag(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < 50; i++ {
+				r.Send(1, 3, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 50; i++ {
+				got := r.Recv(0, 3)
+				if got[0] != float64(i) {
+					t.Errorf("message %d out of order: %v", i, got)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSendNotCounted(t *testing.T) {
+	m := New(1)
+	err := m.Run(func(r *Rank) error {
+		r.Send(0, 1, []float64{1, 2, 3})
+		got := r.Recv(0, 1)
+		if len(got) != 3 {
+			t.Errorf("self recv %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Counters(0); c.Volume() != 0 || c.SentMsgs != 0 {
+		t.Fatalf("self traffic counted: %+v", c)
+	}
+}
+
+func TestSendRecvExchangeNoDeadlock(t *testing.T) {
+	p := 8
+	m := New(p)
+	err := m.Run(func(r *Rank) error {
+		partner := r.ID() ^ 1
+		got := r.SendRecv(partner, []float64{float64(r.ID())}, partner, 9)
+		if got[0] != float64(partner) {
+			t.Errorf("rank %d got %v", r.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdersPhases(t *testing.T) {
+	p := 16
+	m := New(p)
+	var phase1 atomic.Int64
+	err := m.Run(func(r *Rank) error {
+		phase1.Add(1)
+		r.Barrier()
+		if got := phase1.Load(); got != int64(p) {
+			t.Errorf("rank %d passed barrier with %d/%d in phase 1", r.ID(), got, p)
+		}
+		r.Barrier() // reusable
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportsError(t *testing.T) {
+	m := New(3)
+	want := errors.New("boom")
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 1 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRecoversPanicAndUnblocksBarrier(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			panic("rank 0 dies")
+		}
+		r.Barrier() // would deadlock without poisoning
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error from panicked rank")
+	}
+}
+
+func TestCountersResetBetweenRuns(t *testing.T) {
+	m := New(2)
+	prog := func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 0, []float64{1})
+		} else {
+			r.Recv(0, 0)
+		}
+		return nil
+	}
+	if err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Counters(0); c.SentWords != 1 {
+		t.Fatalf("counters not reset: %+v", c)
+	}
+}
+
+func TestManyRanksAllToOne(t *testing.T) {
+	p := 64
+	m := New(p)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			sum := 0.0
+			for src := 1; src < p; src++ {
+				sum += r.Recv(src, 1)[0]
+			}
+			if want := float64(p*(p-1)) / 2; sum != want {
+				t.Errorf("sum = %v, want %v", sum, want)
+			}
+		} else {
+			r.Send(0, 1, []float64{float64(r.ID())})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters(0).RecvMsgs != int64(p-1) {
+		t.Fatalf("root received %d messages", m.Counters(0).RecvMsgs)
+	}
+	if m.MaxMessages() != int64(p-1) {
+		t.Fatalf("MaxMessages = %d", m.MaxMessages())
+	}
+}
+
+func TestVolumeStats(t *testing.T) {
+	m := New(4)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			for dst := 1; dst < 4; dst++ {
+				r.Send(dst, 0, make([]float64, 10*dst))
+			}
+		} else {
+			r.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TotalVolume(); got != 60 {
+		t.Fatalf("TotalVolume = %d, want 60", got)
+	}
+	if got := m.MaxVolume(); got != 60 { // rank 0 sent 60
+		t.Fatalf("MaxVolume = %d, want 60", got)
+	}
+	if got := m.AvgVolume(); got != 30 { // 120 counted words / 4 ranks
+		t.Fatalf("AvgVolume = %v, want 30", got)
+	}
+}

@@ -1,0 +1,93 @@
+package matrix
+
+import "fmt"
+
+// Tile sizes for the blocked kernel. Chosen so one tile triple of
+// float64s stays L1/L2-resident on commodity cores; correctness does not
+// depend on the values.
+const (
+	tileM = 64
+	tileN = 64
+	tileK = 64
+)
+
+// Mul computes C += A·B with the blocked kernel. A is m×k, B is k×n and C
+// is m×n; any shape mismatch panics. Mul is the local compute kernel used
+// by every distributed algorithm (the stand-in for the paper's MKL dgemm).
+func Mul(c, a, b *Dense) {
+	checkMulShapes(c, a, b)
+	for i0 := 0; i0 < a.Rows; i0 += tileM {
+		iMax := min(i0+tileM, a.Rows)
+		for p0 := 0; p0 < a.Cols; p0 += tileK {
+			pMax := min(p0+tileK, a.Cols)
+			for j0 := 0; j0 < b.Cols; j0 += tileN {
+				jMax := min(j0+tileN, b.Cols)
+				mulTile(c, a, b, i0, iMax, p0, pMax, j0, jMax)
+			}
+		}
+	}
+}
+
+// mulTile computes the C tile update for the index ranges [i0,iMax) ×
+// [j0,jMax) over the k range [p0,pMax) with an ikj loop order: the inner
+// loop streams a row of B against a row of C, which vectorizes well.
+func mulTile(c, a, b *Dense, i0, iMax, p0, pMax, j0, jMax int) {
+	for i := i0; i < iMax; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		crow := c.Data[i*c.Stride+j0 : i*c.Stride+jMax]
+		for p := p0; p < pMax; p++ {
+			aip := arow[p]
+			if aip == 0 {
+				continue
+			}
+			brow := b.Data[p*b.Stride+j0 : p*b.Stride+jMax]
+			for j := range crow {
+				crow[j] += aip * brow[j]
+			}
+		}
+	}
+}
+
+// MulNaive computes C += A·B with the textbook triple loop. It exists as
+// an independently-written oracle for testing Mul.
+func MulNaive(c, a, b *Dense) {
+	checkMulShapes(c, a, b)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for p := 0; p < a.Cols; p++ {
+				sum += a.At(i, p) * b.At(p, j)
+			}
+			c.Data[i*c.Stride+j] += sum
+		}
+	}
+}
+
+// RankOneUpdate computes C += col·row where col is m×1 and row is 1×n.
+// This is the elementary outer product of the paper's sequential schedule
+// (Listing 1 with a = b = 1).
+func RankOneUpdate(c *Dense, col, row []float64) {
+	if len(col) != c.Rows || len(row) != c.Cols {
+		panic(fmt.Sprintf("matrix: RankOneUpdate %d×%d into %d×%d", len(col), len(row), c.Rows, c.Cols))
+	}
+	for i, ci := range col {
+		crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for j := range crow {
+			crow[j] += ci * row[j]
+		}
+	}
+}
+
+func checkMulShapes(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: Mul shapes C %d×%d, A %d×%d, B %d×%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package memsim
+
+import "testing"
+
+func TestLoadCountsOnlyNonResident(t *testing.T) {
+	m := NewMemory(10)
+	a := m.NewArray(8)
+	a.Load(0, 4)
+	a.Load(2, 6) // words 2,3 already resident
+	if m.Loads() != 6 {
+		t.Fatalf("loads = %d, want 6", m.Loads())
+	}
+	if m.Used() != 6 {
+		t.Fatalf("used = %d, want 6", m.Used())
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	m := NewMemory(3)
+	a := m.NewArray(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected capacity panic")
+		}
+	}()
+	a.Load(0, 4)
+}
+
+func TestAllocCountsNoLoads(t *testing.T) {
+	m := NewMemory(4)
+	a := m.NewArray(4)
+	a.Alloc(0, 3)
+	if m.Loads() != 0 {
+		t.Fatalf("Alloc counted %d loads", m.Loads())
+	}
+	if m.Used() != 3 || m.Peak() != 3 {
+		t.Fatalf("used %d peak %d, want 3 3", m.Used(), m.Peak())
+	}
+}
+
+func TestStoreRequiresResidency(t *testing.T) {
+	m := NewMemory(4)
+	a := m.NewArray(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected non-resident store panic")
+		}
+	}()
+	a.Store(0, 1)
+}
+
+func TestStoreCountsAndKeepsResident(t *testing.T) {
+	m := NewMemory(4)
+	a := m.NewArray(4)
+	a.Load(0, 2)
+	a.Store(0, 2)
+	if m.Stores() != 2 {
+		t.Fatalf("stores = %d, want 2", m.Stores())
+	}
+	if !a.Resident(0) || !a.Resident(1) {
+		t.Fatal("Store must not evict")
+	}
+	if m.IO() != 4 {
+		t.Fatalf("IO = %d, want 4", m.IO())
+	}
+}
+
+func TestEvictFreesCapacity(t *testing.T) {
+	m := NewMemory(2)
+	a := m.NewArray(4)
+	a.Load(0, 2)
+	a.Evict(0, 1)
+	a.Load(2, 3) // would overflow without the evict
+	if m.Used() != 2 {
+		t.Fatalf("used = %d, want 2", m.Used())
+	}
+	a.Evict(0, 4) // evicting non-resident words is a no-op
+	if m.Used() != 0 {
+		t.Fatalf("used = %d after full evict", m.Used())
+	}
+}
+
+func TestPeakTracksMaximum(t *testing.T) {
+	m := NewMemory(5)
+	a := m.NewArray(8)
+	a.Load(0, 5)
+	a.Evict(0, 5)
+	a.Load(5, 6)
+	if m.Peak() != 5 {
+		t.Fatalf("peak = %d, want 5", m.Peak())
+	}
+}
+
+func TestAccessChecksResidency(t *testing.T) {
+	m := NewMemory(4)
+	a := m.NewArrayFrom([]float64{1, 2, 3})
+	a.Load(1, 2)
+	if got := a.At(1); got != 2 {
+		t.Fatalf("At(1) = %v, want 2", got)
+	}
+	a.Set(1, 9)
+	if a.Slow()[1] != 9 {
+		t.Fatal("Set did not write")
+	}
+	for _, f := range []func(){
+		func() { a.At(0) },
+		func() { a.Set(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected residency panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestArraysShareOneFastMemory(t *testing.T) {
+	m := NewMemory(3)
+	a := m.NewArray(4)
+	b := m.NewArray(4)
+	a.Load(0, 2)
+	b.Load(0, 1)
+	if m.Used() != 3 {
+		t.Fatalf("used = %d, want 3", m.Used())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shared-capacity panic")
+		}
+	}()
+	b.Load(1, 2)
+}
+
+func TestBadRangePanics(t *testing.T) {
+	m := NewMemory(4)
+	a := m.NewArray(4)
+	for _, f := range []func(){
+		func() { a.Load(-1, 2) },
+		func() { a.Load(0, 5) },
+		func() { a.Load(3, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected range panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

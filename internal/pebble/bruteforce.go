@@ -1,0 +1,119 @@
+package pebble
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+)
+
+// ErrStateLimit is returned by MinIO when the search exceeds its state
+// budget before proving an optimum.
+var ErrStateLimit = errors.New("pebble: state limit exceeded")
+
+// MinIO computes the exact minimum number of I/O operations (loads +
+// stores) of any complete red-blue pebbling of g with s red pebbles, by
+// 0-1 breadth-first search over (red, blue) configurations. Loads and
+// stores cost 1; computes and deletions cost 0.
+//
+// The graph must have at most 32 vertices; maxStates bounds the number of
+// distinct configurations explored (finding an optimal pebbling is
+// PSPACE-complete, so this is strictly a tiny-instance certifier).
+//
+// Blue-pebble deletions are never generated: removing a blue pebble can
+// only restrict future loads and never reduces the I/O count.
+func MinIO(g *Graph, s, maxStates int) (int, error) {
+	n := g.Len()
+	if n > 32 {
+		return 0, fmt.Errorf("pebble: MinIO supports ≤ 32 vertices, got %d", n)
+	}
+	if s < 1 {
+		return 0, fmt.Errorf("pebble: red capacity %d must be ≥ 1", s)
+	}
+
+	var inputMask, outputMask uint32
+	for _, v := range g.Inputs() {
+		inputMask |= 1 << uint(v)
+	}
+	for _, v := range g.Outputs() {
+		outputMask |= 1 << uint(v)
+	}
+
+	type state struct{ red, blue uint32 }
+	start := state{red: 0, blue: inputMask}
+	dist := map[state]int{start: 0}
+
+	// 0-1 BFS: cost-0 moves go to the front of the deque, cost-1 to the
+	// back, so states are settled in nondecreasing I/O order.
+	deque := list.New()
+	deque.PushBack(start)
+
+	for deque.Len() > 0 {
+		front := deque.Front()
+		cur := front.Value.(state)
+		deque.Remove(front)
+		d := dist[cur]
+
+		if cur.blue&outputMask == outputMask {
+			return d, nil
+		}
+		if len(dist) > maxStates {
+			return 0, ErrStateLimit
+		}
+
+		relax := func(next state, cost int) {
+			nd := d + cost
+			if old, ok := dist[next]; ok && old <= nd {
+				return
+			}
+			dist[next] = nd
+			if cost == 0 {
+				deque.PushFront(next)
+			} else {
+				deque.PushBack(next)
+			}
+		}
+
+		redCount := popcount32(cur.red)
+		for v := 0; v < n; v++ {
+			bit := uint32(1) << uint(v)
+			hasRed := cur.red&bit != 0
+			hasBlue := cur.blue&bit != 0
+
+			// Load: blue → red.
+			if hasBlue && !hasRed && redCount < s {
+				relax(state{cur.red | bit, cur.blue}, 1)
+			}
+			// Store: red → blue.
+			if hasRed && !hasBlue {
+				relax(state{cur.red, cur.blue | bit}, 1)
+			}
+			// Delete red.
+			if hasRed {
+				relax(state{cur.red &^ bit, cur.blue}, 0)
+			}
+			// Compute: all parents red.
+			if !hasRed && redCount < s && len(g.Pred(VertexID(v))) > 0 {
+				ok := true
+				for _, u := range g.Pred(VertexID(v)) {
+					if cur.red&(1<<uint(u)) == 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					relax(state{cur.red | bit, cur.blue}, 0)
+				}
+			}
+		}
+	}
+	return 0, fmt.Errorf("pebble: no complete pebbling with %d red pebbles", s)
+}
+
+func popcount32(x uint32) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}

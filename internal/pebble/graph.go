@@ -1,0 +1,158 @@
+// Package pebble implements Hong and Kung's red-blue pebble game on
+// computational DAGs, the MMM CDAG of §5.1, the greedy schedules of
+// Listing 1, X-partition inspection (§4), and a brute-force optimal
+// pebbler used to certify the lower bounds on tiny instances.
+package pebble
+
+import "fmt"
+
+// VertexID indexes a vertex of a CDAG.
+type VertexID int32
+
+// Graph is a computational DAG. Vertices are created up front; edges are
+// added with AddEdge. A vertex with no predecessors is an input, one with
+// no successors an output (§2.2).
+type Graph struct {
+	preds [][]VertexID
+	succs [][]VertexID
+}
+
+// NewGraph returns a graph with n vertices and no edges.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("pebble: negative vertex count %d", n))
+	}
+	return &Graph{preds: make([][]VertexID, n), succs: make([][]VertexID, n)}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.preds) }
+
+// AddEdge records the dependency u → v (v consumes the result of u).
+func (g *Graph) AddEdge(u, v VertexID) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("pebble: self edge at %d", u))
+	}
+	g.preds[v] = append(g.preds[v], u)
+	g.succs[u] = append(g.succs[u], v)
+}
+
+// Pred returns the immediate predecessors of v. The slice is shared; do
+// not modify it.
+func (g *Graph) Pred(v VertexID) []VertexID {
+	g.check(v)
+	return g.preds[v]
+}
+
+// Succ returns the immediate successors of v. The slice is shared; do not
+// modify it.
+func (g *Graph) Succ(v VertexID) []VertexID {
+	g.check(v)
+	return g.succs[v]
+}
+
+// Inputs returns all vertices with no predecessors.
+func (g *Graph) Inputs() []VertexID {
+	var in []VertexID
+	for v := range g.preds {
+		if len(g.preds[v]) == 0 {
+			in = append(in, VertexID(v))
+		}
+	}
+	return in
+}
+
+// Outputs returns all vertices with no successors.
+func (g *Graph) Outputs() []VertexID {
+	var out []VertexID
+	for v := range g.succs {
+		if len(g.succs[v]) == 0 {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// Topological returns a topological order of the vertices, or panics if
+// the graph has a cycle (a CDAG must be acyclic).
+func (g *Graph) Topological() []VertexID {
+	n := g.Len()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.preds[v])
+	}
+	queue := make([]VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, VertexID(v))
+		}
+	}
+	order := make([]VertexID, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.succs[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		panic("pebble: graph has a cycle")
+	}
+	return order
+}
+
+func (g *Graph) check(v VertexID) {
+	if v < 0 || int(v) >= len(g.preds) {
+		panic(fmt.Sprintf("pebble: vertex %d out of range [0,%d)", v, len(g.preds)))
+	}
+}
+
+// Bitset is a fixed-capacity set of VertexIDs used for pebble placement.
+type Bitset struct {
+	words []uint64
+	n     int // population count, maintained incrementally
+}
+
+// NewBitset returns an empty bitset with capacity for n vertices.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// Has reports whether v is in the set.
+func (b *Bitset) Has(v VertexID) bool {
+	return b.words[v>>6]&(1<<uint(v&63)) != 0
+}
+
+// Add inserts v; it is a no-op if v is present.
+func (b *Bitset) Add(v VertexID) {
+	w, m := v>>6, uint64(1)<<uint(v&63)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.n++
+	}
+}
+
+// Remove deletes v; it is a no-op if v is absent.
+func (b *Bitset) Remove(v VertexID) {
+	w, m := v>>6, uint64(1)<<uint(v&63)
+	if b.words[w]&m != 0 {
+		b.words[w] &^= m
+		b.n--
+	}
+}
+
+// Len returns the number of elements.
+func (b *Bitset) Len() int { return b.n }
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}

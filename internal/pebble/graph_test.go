@@ -1,0 +1,201 @@
+package pebble
+
+import "testing"
+
+func TestGraphEdgesAndDegrees(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if got := g.Pred(2); len(got) != 2 {
+		t.Fatalf("Pred(2) = %v", got)
+	}
+	if got := g.Succ(2); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Succ(2) = %v", got)
+	}
+	in := g.Inputs()
+	if len(in) != 2 || in[0] != 0 || in[1] != 1 {
+		t.Fatalf("Inputs = %v", in)
+	}
+	out := g.Outputs()
+	if len(out) != 1 || out[0] != 3 {
+		t.Fatalf("Outputs = %v", out)
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(3, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(4, 0)
+	g.AddEdge(3, 4)
+	order := g.Topological()
+	pos := make(map[VertexID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := 0; v < g.Len(); v++ {
+		for _, w := range g.Succ(VertexID(v)) {
+			if pos[VertexID(v)] > pos[w] {
+				t.Fatalf("edge %d→%d violates order %v", v, w, order)
+			}
+		}
+	}
+}
+
+func TestTopologicalCyclePanics(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cycle")
+		}
+	}()
+	g.Topological()
+}
+
+func TestSelfEdgePanics(t *testing.T) {
+	g := NewGraph(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self edge")
+		}
+	}()
+	g.AddEdge(0, 0)
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 0 {
+		t.Fatal("new bitset not empty")
+	}
+	b.Add(0)
+	b.Add(64)
+	b.Add(129)
+	b.Add(64) // duplicate
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if !b.Has(0) || !b.Has(64) || !b.Has(129) || b.Has(1) {
+		t.Fatal("membership wrong")
+	}
+	b.Remove(64)
+	b.Remove(64) // absent
+	if b.Len() != 2 || b.Has(64) {
+		t.Fatal("Remove failed")
+	}
+	c := b.Clone()
+	c.Add(5)
+	if b.Has(5) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestGameBasicSequence(t *testing.T) {
+	// input 0 → 1 → 2 (output), S = 2.
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	game := NewGame(g, 2)
+	moves := []Move{
+		{Load, 0}, {Compute, 1}, {DeleteRed, 0},
+		{Compute, 2}, {Store, 2},
+	}
+	if err := game.Run(moves); err != nil {
+		t.Fatal(err)
+	}
+	if !game.Complete() {
+		t.Fatal("pebbling should be complete")
+	}
+	if game.IO() != 2 || game.Loads() != 1 || game.Stores() != 1 {
+		t.Fatalf("IO = %d (loads %d, stores %d)", game.IO(), game.Loads(), game.Stores())
+	}
+	if game.PeakRed() != 2 {
+		t.Fatalf("PeakRed = %d, want 2", game.PeakRed())
+	}
+}
+
+func TestGameIllegalMoves(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+
+	cases := []struct {
+		name  string
+		setup []Move
+		bad   Move
+	}{
+		{"load without blue", nil, Move{Load, 1}},
+		{"store without red", nil, Move{Store, 0}},
+		{"compute input", nil, Move{Compute, 0}},
+		{"compute without red parents", nil, Move{Compute, 1}},
+		{"delete red absent", nil, Move{DeleteRed, 0}},
+		{"delete blue absent", nil, Move{DeleteBlue, 1}},
+		{"vertex out of range", nil, Move{Load, 7}},
+	}
+	for _, c := range cases {
+		game := NewGame(g, 2)
+		if err := game.Run(c.setup); err != nil {
+			t.Fatalf("%s: setup failed: %v", c.name, err)
+		}
+		if err := game.Apply(c.bad); err == nil {
+			t.Fatalf("%s: move %v %d should be illegal", c.name, c.bad.Kind, c.bad.V)
+		}
+	}
+}
+
+func TestGameRedCapacityEnforced(t *testing.T) {
+	g := NewGraph(3) // three inputs
+	game := NewGame(g, 2)
+	if err := game.Run([]Move{{Load, 0}, {Load, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := game.Apply(Move{Load, 2}); err == nil {
+		t.Fatal("third red pebble with S=2 should fail")
+	}
+	// Reloading an already-red vertex must not hit the cap (it is a
+	// counted but legal no-op placement).
+	if err := game.Apply(Move{Load, 0}); err != nil {
+		t.Fatalf("reload of red vertex: %v", err)
+	}
+	// After freeing one, the load must succeed.
+	if err := game.Run([]Move{{DeleteRed, 0}, {Load, 2}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGameComputeCapacity(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	game := NewGame(g, 2)
+	if err := game.Run([]Move{{Load, 0}, {Load, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := game.Apply(Move{Compute, 2}); err == nil {
+		t.Fatal("compute beyond capacity should fail")
+	}
+	if err := game.Run([]Move{{DeleteRed, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Parent 0 is no longer red: compute must now fail for that reason.
+	if err := game.Apply(Move{Compute, 2}); err == nil {
+		t.Fatal("compute with evicted parent should fail")
+	}
+}
+
+func TestGameErrorLeavesStateUnchanged(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1)
+	game := NewGame(g, 1)
+	if err := game.Apply(Move{Load, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := game.Apply(Move{Compute, 1}); err == nil {
+		t.Fatal("capacity violation expected")
+	}
+	if game.RedCount() != 1 || !game.HasRed(0) || game.IO() != 1 {
+		t.Fatal("failed move mutated state")
+	}
+}

@@ -1,0 +1,274 @@
+package pebble
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cosma/internal/bound"
+)
+
+func TestBuildMMMStructure(t *testing.T) {
+	m, n, k := 3, 4, 2
+	d := BuildMMM(m, n, k)
+	if got, want := d.Len(), m*k+k*n+m*n*k; got != want {
+		t.Fatalf("vertex count %d, want %d", got, want)
+	}
+	if got := len(d.Inputs()); got != m*k+k*n {
+		t.Fatalf("inputs %d, want %d", got, m*k+k*n)
+	}
+	if got := len(d.Outputs()); got != m*n {
+		t.Fatalf("outputs %d, want %d", got, m*n)
+	}
+	// First partial sums have 2 parents (A, B); later ones 3.
+	if got := len(d.Pred(d.C(1, 2, 0))); got != 2 {
+		t.Fatalf("C(·,·,0) parents %d, want 2", got)
+	}
+	if got := len(d.Pred(d.C(1, 2, 1))); got != 3 {
+		t.Fatalf("C(·,·,1) parents %d, want 3", got)
+	}
+	// Every A(i,t) feeds exactly n partial sums; every B(t,j) feeds m.
+	if got := len(d.Succ(d.A(0, 1))); got != n {
+		t.Fatalf("A successors %d, want %d", got, n)
+	}
+	if got := len(d.Succ(d.B(1, 3))); got != m {
+		t.Fatalf("B successors %d, want %d", got, m)
+	}
+	// Non-final partials have exactly one child (Eq. 4's chain property).
+	if got := len(d.Succ(d.C(2, 3, 0))); got != 1 {
+		t.Fatalf("partial sum children %d, want 1", got)
+	}
+}
+
+func TestMMMVertexIDsDistinct(t *testing.T) {
+	d := BuildMMM(2, 3, 4)
+	seen := make(map[VertexID]bool)
+	add := func(v VertexID) {
+		if seen[v] {
+			t.Fatalf("duplicate vertex id %d", v)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 2; i++ {
+		for t2 := 0; t2 < 4; t2++ {
+			add(d.A(i, t2))
+		}
+	}
+	for t2 := 0; t2 < 4; t2++ {
+		for j := 0; j < 3; j++ {
+			add(d.B(t2, j))
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for t2 := 0; t2 < 4; t2++ {
+				add(d.C(i, j, t2))
+			}
+		}
+	}
+	if len(seen) != d.Len() {
+		t.Fatalf("enumerated %d vertices of %d", len(seen), d.Len())
+	}
+}
+
+func TestGreedyMovesLegalAndComplete(t *testing.T) {
+	cases := []struct{ m, n, k, a, b int }{
+		{4, 4, 4, 2, 2},
+		{5, 7, 3, 2, 3}, // non-divisible boundary tiles
+		{1, 1, 1, 1, 1},
+		{6, 6, 1, 3, 2}, // k = 1
+		{3, 3, 5, 3, 3}, // single tile
+	}
+	for _, c := range cases {
+		d := BuildMMM(c.m, c.n, c.k)
+		s := d.GreedyPeakRed(c.a, c.b)
+		game := NewGame(d.Graph, s)
+		if err := game.Run(d.GreedyMoves(c.a, c.b)); err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if !game.Complete() {
+			t.Fatalf("%+v: schedule incomplete", c)
+		}
+		if game.PeakRed() != s {
+			t.Fatalf("%+v: peak red %d, want exactly %d", c, game.PeakRed(), s)
+		}
+		// One fewer red pebble must make the schedule illegal: the peak
+		// bound is tight.
+		tight := NewGame(d.Graph, s-1)
+		if err := tight.Run(d.GreedyMoves(c.a, c.b)); err == nil {
+			t.Fatalf("%+v: schedule legal with S-1 red pebbles", c)
+		}
+	}
+}
+
+func TestGreedyIOMatchesTileFormula(t *testing.T) {
+	// For tile-divisible dimensions the counted I/O must equal TileIO.
+	cases := []struct{ m, n, k, a, b int }{
+		{4, 4, 4, 2, 2},
+		{6, 9, 5, 3, 3},
+		{8, 4, 2, 4, 2},
+	}
+	for _, c := range cases {
+		d := BuildMMM(c.m, c.n, c.k)
+		game := NewGame(d.Graph, d.GreedyPeakRed(c.a, c.b))
+		if err := game.Run(d.GreedyMoves(c.a, c.b)); err != nil {
+			t.Fatal(err)
+		}
+		want := bound.TileIO(c.m, c.n, c.k, c.a, c.b)
+		if float64(game.IO()) != want {
+			t.Fatalf("%+v: counted IO %d, formula %v", c, game.IO(), want)
+		}
+		if game.Stores() != c.m*c.n {
+			t.Fatalf("%+v: stores %d, want mn", c, game.Stores())
+		}
+	}
+}
+
+func TestGreedyIORespectsLowerBound(t *testing.T) {
+	// Counted I/O of the real schedule must never beat Theorem 1 evaluated
+	// at the schedule's true red capacity.
+	f := func(seed int64) bool {
+		m := 1 + int(seed)%5
+		if m < 1 {
+			m = 1
+		}
+		n := 1 + int(seed>>8)&3
+		k := 1 + int(seed>>16)&3
+		d := BuildMMM(m, n, k)
+		a, b := 2, 2
+		s := d.GreedyPeakRed(a, b)
+		game := NewGame(d.Graph, s)
+		if err := game.Run(d.GreedyMoves(a, b)); err != nil {
+			return false
+		}
+		lb := bound.SequentialLowerBound(m, n, k, s)
+		return float64(game.IO()) >= lb-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyNearOptimalRatio(t *testing.T) {
+	// With the optimal tile for S, counted I/O over the Theorem 1 bound
+	// must stay within the paper's √S/(√(S+1)−1) factor plus tile
+	// rounding slack.
+	m, n, k := 24, 24, 24
+	s := 38 // a_opt×b_opt = 4×? → OptimalTile(36) plus pebble slack
+	a, b := bound.OptimalTile(s - 1)
+	d := BuildMMM(m, n, k)
+	game := NewGame(d.Graph, d.GreedyPeakRed(a, b))
+	if err := game.Run(d.GreedyMoves(a, b)); err != nil {
+		t.Fatal(err)
+	}
+	lb := bound.SequentialLowerBound(m, n, k, d.GreedyPeakRed(a, b))
+	ratio := float64(game.IO()) / lb
+	if ratio < 1 {
+		t.Fatalf("counted IO %d below bound %v", game.IO(), lb)
+	}
+	if ratio > 1.5 {
+		t.Fatalf("greedy IO ratio %v too far from optimal", ratio)
+	}
+}
+
+func TestTilePartitionIsValidXPartition(t *testing.T) {
+	// The greedy schedule's subcomputations V_r — one a×b tile per k-step —
+	// form a valid X-partition of the MMM CDAG with |Dom| = ab + a + b
+	// (Eq. 12/18 with c = 1) and |Min| = ab.
+	m, n, k, a, b := 4, 6, 3, 2, 3
+	d := BuildMMM(m, n, k)
+	var parts []map[VertexID]bool
+	for i0 := 0; i0 < m; i0 += a {
+		for j0 := 0; j0 < n; j0 += b {
+			for t := 0; t < k; t++ {
+				part := make(map[VertexID]bool)
+				for i := i0; i < i0+a; i++ {
+					for j := j0; j < j0+b; j++ {
+						part[d.C(i, j, t)] = true
+					}
+				}
+				parts = append(parts, part)
+			}
+		}
+	}
+	ok, maxDom, maxMin := ValidPartition(d.Graph, parts)
+	if !ok {
+		t.Fatal("tile partition rejected")
+	}
+	wantDom := a*b + a + b // Γ + α + β (Γ empty for t = 0 but bound is max)
+	if maxDom != wantDom {
+		t.Fatalf("max dominator %d, want %d", maxDom, wantDom)
+	}
+	if maxMin != a*b {
+		t.Fatalf("max min-set %d, want %d", maxMin, a*b)
+	}
+	// Lemma 3: H(X) ≥ |V|/|Vmax| with |Vmax| = ab.
+	if len(parts) < m*n*k/(a*b) {
+		t.Fatalf("partition has %d parts, fewer than |V|/|Vmax| = %d", len(parts), m*n*k/(a*b))
+	}
+}
+
+func TestValidPartitionRejectsBad(t *testing.T) {
+	d := BuildMMM(2, 2, 2)
+	// Overlapping parts.
+	p1 := map[VertexID]bool{d.C(0, 0, 0): true, d.C(0, 0, 1): true}
+	if ok, _, _ := ValidPartition(d.Graph, []map[VertexID]bool{p1, p1}); ok {
+		t.Fatal("overlap accepted")
+	}
+	// Non-covering.
+	if ok, _, _ := ValidPartition(d.Graph, []map[VertexID]bool{p1}); ok {
+		t.Fatal("non-covering accepted")
+	}
+}
+
+func TestFrontierAndMinSet(t *testing.T) {
+	d := BuildMMM(2, 2, 2)
+	part := map[VertexID]bool{d.C(0, 0, 0): true, d.C(0, 0, 1): true}
+	fr := Frontier(d.Graph, part)
+	// Inputs of the chain: A(0,0), B(0,0), A(0,1), B(1,0).
+	if len(fr) != 4 {
+		t.Fatalf("frontier %v, want 4 vertices", fr)
+	}
+	ms := MinSet(d.Graph, part)
+	if len(ms) != 1 || ms[0] != d.C(0, 0, 1) {
+		t.Fatalf("min set %v, want just the final partial", ms)
+	}
+}
+
+func TestGreedyPeakRedFormula(t *testing.T) {
+	d := BuildMMM(8, 8, 4)
+	if got := d.GreedyPeakRed(2, 3); got != 2*3+2+2 {
+		t.Fatalf("GreedyPeakRed(2,3) = %d", got)
+	}
+	d1 := BuildMMM(8, 8, 1)
+	if got := d1.GreedyPeakRed(2, 3); got != 2*3+2+1 {
+		t.Fatalf("k=1 GreedyPeakRed(2,3) = %d", got)
+	}
+	// Tiles larger than the matrix are clamped.
+	small := BuildMMM(2, 2, 2)
+	if got := small.GreedyPeakRed(100, 100); got != 2*2+2+2 {
+		t.Fatalf("clamped GreedyPeakRed = %d", got)
+	}
+}
+
+func TestSequentialGapSanity(t *testing.T) {
+	// The measured greedy-to-bound ratio for square tiles of side x and
+	// capacity S = x²+x+2 should not exceed √S/(√(S+1)−1) by more than
+	// tile-boundary slack on divisible problems.
+	x := 4
+	m, n, k := 16, 16, 16
+	d := BuildMMM(m, n, k)
+	s := d.GreedyPeakRed(x, x)
+	game := NewGame(d.Graph, s)
+	if err := game.Run(d.GreedyMoves(x, x)); err != nil {
+		t.Fatal(err)
+	}
+	lb := bound.SequentialLowerBound(m, n, k, s)
+	gap := bound.SequentialGap(s)
+	if float64(game.IO()) > lb*gap*1.25 {
+		t.Fatalf("IO %d exceeds bound %v × gap %v with slack", game.IO(), lb, gap)
+	}
+	if math.IsNaN(gap) {
+		t.Fatal("gap NaN")
+	}
+}

@@ -1,0 +1,117 @@
+package pebble
+
+// This file provides X-partition inspection (§4): for a subcomputation V_i
+// given as a vertex set, the input frontier (which for the MMM CDAG equals
+// the minimal dominator set Dom(V_i) = α ∪ β ∪ Γ, Eq. 5) and the minimum
+// set Min(V_i).
+
+// Frontier returns the distinct vertices outside set that have an edge
+// into set — the immediate inputs of the subcomputation. For MMM
+// subcomputations this is exactly the dominator set of §5.1.2.
+func Frontier(g *Graph, set map[VertexID]bool) []VertexID {
+	seen := make(map[VertexID]bool)
+	var out []VertexID
+	for v := range set {
+		for _, u := range g.Pred(v) {
+			if !set[u] && !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// MinSet returns the vertices of set with no children inside set — the
+// minimum set Min(V_i) of §4.
+func MinSet(g *Graph, set map[VertexID]bool) []VertexID {
+	var out []VertexID
+	for v := range set {
+		internal := false
+		for _, w := range g.Succ(v) {
+			if set[w] {
+				internal = true
+				break
+			}
+		}
+		if !internal {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ValidPartition reports whether parts is a valid partition of the
+// non-input vertices of g: pairwise disjoint, covering, and free of cyclic
+// dependencies between parts (checked via a topological order of the
+// part-quotient graph). It also returns the largest frontier and minimum
+// set sizes over all parts, so callers can verify the X bound of an
+// X-partition.
+func ValidPartition(g *Graph, parts []map[VertexID]bool) (ok bool, maxDom, maxMin int) {
+	owner := make(map[VertexID]int)
+	for i, p := range parts {
+		for v := range p {
+			if _, dup := owner[v]; dup {
+				return false, 0, 0 // not disjoint
+			}
+			owner[v] = i
+		}
+	}
+	for v := 0; v < g.Len(); v++ {
+		if len(g.Pred(VertexID(v))) == 0 {
+			continue // inputs are not part of any subcomputation
+		}
+		if _, covered := owner[VertexID(v)]; !covered {
+			return false, 0, 0
+		}
+	}
+	// Quotient graph acyclicity via Kahn's algorithm.
+	adj := make([]map[int]bool, len(parts))
+	indeg := make([]int, len(parts))
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for v := 0; v < g.Len(); v++ {
+		pv, okv := owner[VertexID(v)]
+		if !okv {
+			continue
+		}
+		for _, w := range g.Succ(VertexID(v)) {
+			pw, okw := owner[w]
+			if okw && pv != pw && !adj[pv][pw] {
+				adj[pv][pw] = true
+				indeg[pw]++
+			}
+		}
+	}
+	queue := []int{}
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if seen != len(parts) {
+		return false, 0, 0
+	}
+	for _, p := range parts {
+		if d := len(Frontier(g, p)); d > maxDom {
+			maxDom = d
+		}
+		if m := len(MinSet(g, p)); m > maxMin {
+			maxMin = m
+		}
+	}
+	return true, maxDom, maxMin
+}

@@ -1,0 +1,123 @@
+// Package perfmodel converts an algorithm's per-rank flop, word and
+// message counts into simulated time and % of peak performance. It stands
+// in for the Piz Daint testbed of §8: every algorithm is charged the same
+// machine constants, so runtime and %-peak orderings follow the measured
+// and modeled communication volumes — which is what Figures 8–14 compare.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"cosma/internal/algo"
+)
+
+// Machine holds the per-core performance constants. The defaults are
+// Piz-Daint-like (Xeon E5-2695 v4 cores on the Cray Aries network).
+type Machine struct {
+	PeakFlops float64 // flop/s per core
+	Bandwidth float64 // words/s per core (8-byte words)
+	Latency   float64 // seconds per message
+	Overlap   bool    // §7.3: overlap communication with computation
+}
+
+// PizDaint returns the default machine constants: 36.8 Gflop/s per core
+// (18-core 2.3 GHz Broadwell socket with AVX2 FMA ≈ 36.8 Gflop/s/core),
+// 0.29 GB/s sustained injection bandwidth per core (10.5 GB/s Aries
+// injection per node / 36 cores) and ~1.5 µs latency.
+// Overlap defaults to false: cross-algorithm comparisons charge
+// communication and computation serially, which is conservative and
+// identical for every algorithm; Figure 12 quantifies the overlap gain
+// (§7.3) separately.
+func PizDaint() Machine {
+	return Machine{
+		PeakFlops: 36.8e9,
+		Bandwidth: 3.6e7, // words/s ≈ 0.29 GB/s per core
+		Latency:   1.5e-6,
+	}
+}
+
+// Time returns the simulated execution time of one rank's critical path
+// given its flop, received-word and message counts. With overlap enabled
+// the compute and communication phases hide each other (max); without it
+// they serialize (sum), reproducing the two bars of Figure 12.
+func (m Machine) Time(flops, words, msgs float64) float64 {
+	if m.PeakFlops <= 0 || m.Bandwidth <= 0 {
+		panic(fmt.Sprintf("perfmodel: invalid machine %+v", m))
+	}
+	compute := flops / m.PeakFlops
+	comms := words/m.Bandwidth + msgs*m.Latency
+	if m.Overlap {
+		return math.Max(compute, comms)
+	}
+	return compute + comms
+}
+
+// Result describes one algorithm's predicted execution.
+type Result struct {
+	Name        string
+	TimeSec     float64
+	PctPeak     float64 // % of aggregate machine peak achieved
+	ComputeSec  float64
+	CommSec     float64
+	CommWords   float64 // critical-path received words
+	CommPerRank float64 // average received words per rank
+}
+
+// Evaluate predicts the execution of a model on p ranks for an m×n×k
+// multiplication: total useful work 2mnk flops, critical path set by the
+// busiest rank.
+func (mach Machine) Evaluate(mod algo.Model, m, n, k, p int) Result {
+	if p < 1 {
+		panic(fmt.Sprintf("perfmodel: p = %d", p))
+	}
+	compute := mod.MaxFlops / mach.PeakFlops
+	comms := mod.MaxRecv/mach.Bandwidth + mod.MaxMsgs*mach.Latency
+	var t float64
+	if mach.Overlap {
+		t = math.Max(compute, comms)
+	} else {
+		t = compute + comms
+	}
+	useful := 2 * float64(m) * float64(n) * float64(k)
+	pct := 100 * useful / (t * mach.PeakFlops * float64(p))
+	return Result{
+		Name:        mod.Name,
+		TimeSec:     t,
+		PctPeak:     pct,
+		ComputeSec:  compute,
+		CommSec:     comms,
+		CommWords:   mod.MaxRecv,
+		CommPerRank: mod.AvgRecv,
+	}
+}
+
+// Breakdown splits a model's predicted time into the Figure 12
+// categories: computation, input (A and B) communication, and output (C)
+// communication, for both overlap settings.
+type Breakdown struct {
+	ComputeSec float64
+	InputSec   float64 // sending/receiving A and B panels
+	OutputSec  float64 // reducing/sending C
+	TotalNoOv  float64 // total without communication–computation overlap
+	TotalOv    float64 // total with overlap (§7.3)
+}
+
+// SplitInputOutput estimates the Figure 12 breakdown assuming the output
+// traffic is outWords of the model's MaxRecv words.
+func (mach Machine) SplitInputOutput(mod algo.Model, outWords float64) Breakdown {
+	if outWords > mod.MaxRecv {
+		outWords = mod.MaxRecv
+	}
+	in := (mod.MaxRecv - outWords) / mach.Bandwidth
+	out := outWords / mach.Bandwidth
+	compute := mod.MaxFlops / mach.PeakFlops
+	lat := mod.MaxMsgs * mach.Latency
+	return Breakdown{
+		ComputeSec: compute,
+		InputSec:   in + lat,
+		OutputSec:  out,
+		TotalNoOv:  compute + in + out + lat,
+		TotalOv:    math.Max(compute, in+out+lat),
+	}
+}

@@ -1,0 +1,101 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"cosma/internal/algo"
+)
+
+func TestTimeOverlapVsSerial(t *testing.T) {
+	m := Machine{PeakFlops: 1e9, Bandwidth: 1e8, Latency: 1e-6, Overlap: true}
+	flops, words := 2e9, 1e8 // 2 s compute, 1 s comm
+	if got := m.Time(flops, words, 0); got != 2 {
+		t.Fatalf("overlap time = %v, want 2", got)
+	}
+	m.Overlap = false
+	if got := m.Time(flops, words, 0); got != 3 {
+		t.Fatalf("serial time = %v, want 3", got)
+	}
+}
+
+func TestTimeLatencyTerm(t *testing.T) {
+	m := Machine{PeakFlops: 1e9, Bandwidth: 1e8, Latency: 1e-3, Overlap: false}
+	if got := m.Time(0, 0, 1000); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("latency-only time = %v, want 1", got)
+	}
+}
+
+func TestEvaluatePctPeakPerfectlyComputeBound(t *testing.T) {
+	m := PizDaint()
+	p := 64
+	mod := algo.Model{
+		Name:     "ideal",
+		MaxFlops: 2e12 / float64(p), // perfectly balanced
+		MaxRecv:  0,
+		MaxMsgs:  0,
+	}
+	// useful work = MaxFlops·p → 100% of peak.
+	res := m.Evaluate(mod, 10000, 10000, 5000, p) // 2mnk = 1e12… adjust below
+	useful := 2.0 * 10000 * 10000 * 5000
+	wantPct := 100 * useful / (res.TimeSec * m.PeakFlops * float64(p))
+	if math.Abs(res.PctPeak-wantPct) > 1e-9 {
+		t.Fatalf("PctPeak = %v, want %v", res.PctPeak, wantPct)
+	}
+	if res.PctPeak > 100.01 {
+		t.Fatalf("PctPeak %v exceeds 100%%", res.PctPeak)
+	}
+}
+
+func TestEvaluateMoreCommLowersPeak(t *testing.T) {
+	mach := PizDaint()
+	m, n, k, p := 4096, 4096, 4096, 256
+	base := algo.Model{MaxFlops: 2 * 4096 * 4096 * 4096 / 256, MaxRecv: 1e6, MaxMsgs: 10}
+	heavy := base
+	heavy.MaxRecv = 1e9
+	r1 := mach.Evaluate(base, m, n, k, p)
+	r2 := mach.Evaluate(heavy, m, n, k, p)
+	if r2.PctPeak >= r1.PctPeak {
+		t.Fatalf("heavier comm should lower %%peak: %v vs %v", r2.PctPeak, r1.PctPeak)
+	}
+	if r2.TimeSec <= r1.TimeSec {
+		t.Fatalf("heavier comm should be slower: %v vs %v", r2.TimeSec, r1.TimeSec)
+	}
+}
+
+func TestSplitInputOutput(t *testing.T) {
+	mach := PizDaint()
+	mach.Latency = 0
+	mod := algo.Model{MaxFlops: 3.68e9, MaxRecv: 3.2e8, MaxMsgs: 0}
+	bd := mach.SplitInputOutput(mod, 1.6e8)
+	if math.Abs(bd.InputSec-bd.OutputSec) > 1e-9 {
+		t.Fatalf("half output split uneven: in %v out %v", bd.InputSec, bd.OutputSec)
+	}
+	if math.Abs(bd.TotalNoOv-(bd.ComputeSec+bd.InputSec+bd.OutputSec)) > 1e-12 {
+		t.Fatal("no-overlap total inconsistent")
+	}
+	if bd.TotalOv > bd.TotalNoOv {
+		t.Fatal("overlap must not be slower than serial")
+	}
+	// Clamp: more output than total traffic.
+	bd2 := mach.SplitInputOutput(mod, 1e12)
+	if bd2.InputSec != 0 {
+		t.Fatalf("clamped input time %v, want 0", bd2.InputSec)
+	}
+}
+
+func TestPizDaintConstantsSane(t *testing.T) {
+	m := PizDaint()
+	if m.PeakFlops < 1e9 || m.Bandwidth < 1e6 || m.Latency <= 0 || m.Overlap {
+		t.Fatalf("suspicious constants %+v", m)
+	}
+}
+
+func TestTimePanicsOnBadMachine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Machine{}.Time(1, 1, 1)
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateStrongScalingFixedProblem(t *testing.T) {
+	a := Generate(Square, StrongScaling, 128)
+	b := Generate(Square, StrongScaling, 16384)
+	if a.M != b.M || a.K != b.K {
+		t.Fatal("strong scaling must fix the problem size")
+	}
+	if a.M != 16384 {
+		t.Fatalf("square strong m = %d", a.M)
+	}
+}
+
+func TestGenerateLimitedMemoryKeepsWordsPerCore(t *testing.T) {
+	// pS/I must be (approximately) constant across p.
+	r0 := Generate(Square, LimitedMemory, 128)
+	r1 := Generate(Square, LimitedMemory, 8192)
+	c0 := float64(r0.P) * float64(r0.S) / r0.InputWords()
+	c1 := float64(r1.P) * float64(r1.S) / r1.InputWords()
+	if c0/c1 > 1.01 || c1/c0 > 1.01 {
+		t.Fatalf("limited memory ratio drifts: %v vs %v", c0, c1)
+	}
+}
+
+func TestGenerateExtraMemoryGrowsSlack(t *testing.T) {
+	// Extra memory: pS/I grows ~ p^{1/3}.
+	r0 := Generate(Square, ExtraMemory, 128)
+	r1 := Generate(Square, ExtraMemory, 1024) // 8× cores → 2× slack
+	c0 := float64(r0.P) * float64(r0.S) / r0.InputWords()
+	c1 := float64(r1.P) * float64(r1.S) / r1.InputWords()
+	if got := c1 / c0; got < 1.9 || got > 2.1 {
+		t.Fatalf("extra-memory slack grew %vx over 8x cores, want ≈ 2x", got)
+	}
+}
+
+func TestGenerateLargeKShape(t *testing.T) {
+	c := Generate(LargeK, StrongScaling, 4096)
+	if c.M != c.N || c.K <= 100*c.M {
+		t.Fatalf("largeK strong shape %d×%d×%d", c.M, c.N, c.K)
+	}
+	if c.M != 17408 || c.K != 3735552 {
+		t.Fatalf("largeK strong dims %d, %d — want the RPA 128-molecule sizes", c.M, c.K)
+	}
+}
+
+func TestGenerateLargeMIsTransposedLargeK(t *testing.T) {
+	kk := Generate(LargeK, LimitedMemory, 512)
+	mm := Generate(LargeM, LimitedMemory, 512)
+	if mm.M != kk.K || mm.N != kk.M || mm.K != kk.N {
+		t.Fatalf("largeM %v is not transposed largeK %v", mm, kk)
+	}
+}
+
+func TestGenerateFlatShape(t *testing.T) {
+	c := Generate(Flat, LimitedMemory, 1024)
+	if c.K != 256 || c.M <= 10*c.K {
+		t.Fatalf("flat shape %d×%d×%d", c.M, c.N, c.K)
+	}
+}
+
+func TestRPADimensions(t *testing.T) {
+	m, n, k := RPA(128)
+	if m != 17408 || n != 17408 || k != 3735552 {
+		t.Fatalf("RPA(128) = %d,%d,%d — the paper's strong-scaling sizes", m, n, k)
+	}
+	m, _, k = RPA(1)
+	if m != 136 || k != 228 {
+		t.Fatalf("RPA(1) = %d,·,%d", m, k)
+	}
+}
+
+func TestGeneratePropertyPositiveDims(t *testing.T) {
+	f := func(seed int64) bool {
+		p := 1 + int(uint64(seed)%20000)
+		for _, sh := range []Shape{Square, LargeK, LargeM, Flat} {
+			for _, rg := range []Regime{StrongScaling, LimitedMemory, ExtraMemory} {
+				c := Generate(sh, rg, p)
+				if c.M < 1 || c.N < 1 || c.K < 1 || c.S < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringLabels(t *testing.T) {
+	if Square.String() != "square" || LargeK.String() != "largeK" {
+		t.Fatal("shape labels")
+	}
+	if StrongScaling.String() != "strong scaling" {
+		t.Fatal("regime labels")
+	}
+	if CoreCounts()[0] != 128 {
+		t.Fatal("core counts")
+	}
+}
