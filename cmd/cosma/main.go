@@ -5,6 +5,10 @@
 // Usage:
 //
 //	cosma -m 512 -n 512 -k 512 -p 16 -S 1048576 [-algo cosma|summa|2.5d|carma|all]
+//	      [-network pizdaint|ethernet|sharedmem]
+//
+// With -network the run executes on the timed α-β-γ transport and the
+// table gains predicted and critical-path runtime columns.
 package main
 
 import (
@@ -28,7 +32,17 @@ func main() {
 	s := flag.Int("S", 1<<20, "local memory per processor in words")
 	algoName := flag.String("algo", "cosma", "algorithm: cosma, summa, 2.5d, carma or all")
 	seed := flag.Int64("seed", 1, "random seed for the input matrices")
+	netName := flag.String("network", "", "timed α-β-γ preset: pizdaint, ethernet or sharedmem (empty counts only)")
 	flag.Parse()
+
+	var network *cosma.NetworkParams
+	if *netName != "" {
+		net, err := cosma.NetworkByName(*netName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		network = &net
+	}
 
 	a := cosma.RandomMatrix(*m, *k, *seed)
 	b := cosma.RandomMatrix(*k, *n, *seed+1)
@@ -38,9 +52,12 @@ func main() {
 	fmt.Printf("Theorem 2 lower bound: %.0f words/rank\n\n",
 		cosma.ParallelLowerBound(*m, *n, *k, *p, *s))
 
-	t := report.NewTable("measured communication",
-		"algorithm", "grid", "ranks used", "avg recv words/rank", "max recv", "max msgs", "model words/rank")
-	for _, r := range cosma.Algorithms() {
+	headers := []string{"algorithm", "grid", "ranks used", "avg recv words/rank", "max recv", "max msgs", "model words/rank"}
+	if network != nil {
+		headers = append(headers, "predicted", "critical path")
+	}
+	t := report.NewTable("measured communication", headers...)
+	for _, r := range cosma.AlgorithmsNet(network) {
 		name := strings.ToLower(r.Name())
 		match := *algoName == "all" ||
 			(*algoName == "cosma" && strings.Contains(name, "cosma")) ||
@@ -55,7 +72,11 @@ func main() {
 			log.Printf("%s: %v", r.Name(), err)
 			continue
 		}
-		t.AddRow(rep.Name, rep.Grid, rep.Used, rep.AvgRecv, rep.MaxRecv, rep.MaxMsgs, rep.Model.AvgRecv)
+		row := []interface{}{rep.Name, rep.Grid, rep.Used, rep.AvgRecv, rep.MaxRecv, rep.MaxMsgs, rep.Model.AvgRecv}
+		if network != nil {
+			row = append(row, report.Seconds(rep.PredictedTime), report.Seconds(rep.CritPathTime))
+		}
+		t.AddRow(row...)
 	}
 	if t.Rows() == 0 {
 		log.Print("no algorithm matched or ran; see -algo")

@@ -2,17 +2,22 @@
 // simulated substrate. With no arguments it prints everything; pass
 // subcommand names to select individual experiments:
 //
-//	experiments [table1] [fig3] [seqio] [fig5] [table3] [fig6] [fig7]
+//	experiments [-network pizdaint|ethernet|sharedmem]
+//	            [table1] [fig3] [seqio] [fig5] [table3] [fig6] [fig7]
 //	            [fig8] [fig9] [fig10] [fig11] [fig12] [fig13] [table4]
-//	            [unfavorable] [validate]
+//	            [unfavorable] [validate] [timevolume]
+//
+// The -network flag selects the α-β-γ preset the timed-transport
+// experiments (timevolume) execute on.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"cosma/internal/experiments"
+	"cosma/internal/machine"
 	"cosma/internal/report"
 	"cosma/internal/workload"
 )
@@ -20,12 +25,20 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	netName := flag.String("network", "pizdaint",
+		"α-β-γ network preset for timed experiments: pizdaint, ethernet or sharedmem")
+	flag.Parse()
+	network, err := machine.NetworkByName(*netName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	all := []string{
 		"table1", "fig3", "seqio", "fig5", "table3", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table4",
 		"unfavorable", "validate", "iolatency", "delta", "step",
+		"timevolume",
 	}
-	want := os.Args[1:]
+	want := flag.Args()
 	if len(want) == 0 {
 		want = all
 	}
@@ -37,7 +50,7 @@ func main() {
 		if !known[name] {
 			log.Fatalf("unknown experiment %q; available: %v", name, all)
 		}
-		run(name)
+		run(name, network)
 	}
 }
 
@@ -47,7 +60,7 @@ func print(tables ...*report.Table) {
 	}
 }
 
-func run(name string) {
+func run(name string, network machine.NetworkParams) {
 	shapes := []workload.Shape{workload.Square, workload.LargeK, workload.LargeM, workload.Flat}
 	regimes := []workload.Regime{workload.StrongScaling, workload.LimitedMemory, workload.ExtraMemory}
 	switch name {
@@ -104,6 +117,8 @@ func run(name string) {
 		print(experiments.DeltaAblation())
 	case "step":
 		print(experiments.StepAblation())
+	case "timevolume":
+		print(experiments.TimeVsVolume(network))
 	default:
 		_ = shapes // exhaustively handled above
 	}

@@ -25,6 +25,7 @@ import (
 	"cosma/internal/bound"
 	"cosma/internal/core"
 	"cosma/internal/grid"
+	"cosma/internal/machine"
 	"cosma/internal/matrix"
 	"cosma/internal/seq"
 )
@@ -42,6 +43,29 @@ type Model = algo.Model
 
 // Runner is a distributed MMM algorithm (COSMA or a baseline).
 type Runner = algo.Runner
+
+// NetworkParams are the α-β-γ constants of the timed machine model: α
+// seconds of latency per message, β seconds per 8-byte word, γ seconds
+// per flop. Passing one via Options.Network executes the multiplication
+// on the timed transport, so the report carries runtime predictions
+// (PredictedTime, CritPathTime) alongside the counted volumes.
+type NetworkParams = machine.NetworkParams
+
+// PizDaintNetwork returns the Piz-Daint-like interconnect constants the
+// paper's testbed corresponds to (Aries: 1.5 µs, 0.29 GB/s per core).
+func PizDaintNetwork() NetworkParams { return machine.PizDaintNet() }
+
+// EthernetNetwork returns a latency-heavy 10 GbE commodity-cluster
+// profile.
+func EthernetNetwork() NetworkParams { return machine.CommodityEthernet() }
+
+// SharedMemoryNetwork returns an intra-node profile where communication
+// nearly vanishes against compute.
+func SharedMemoryNetwork() NetworkParams { return machine.SharedMemory() }
+
+// NetworkByName resolves a preset name ("pizdaint", "ethernet",
+// "sharedmem"), for command-line flags.
+func NetworkByName(name string) (NetworkParams, error) { return machine.NetworkByName(name) }
 
 // NewMatrix returns a zeroed r×c matrix.
 func NewMatrix(r, c int) *Matrix { return matrix.New(r, c) }
@@ -66,6 +90,10 @@ type Options struct {
 	// Delta is the grid-fitting idle-rank tolerance δ of §7.1; zero means
 	// the paper's default 0.03.
 	Delta float64
+	// Network, when set, executes on the timed α-β-γ transport and fills
+	// the report's PredictedTime/CritPathTime; nil uses the counting
+	// transport (volumes only).
+	Network *NetworkParams
 }
 
 func (o Options) normalize() Options {
@@ -79,11 +107,25 @@ func (o Options) normalize() Options {
 }
 
 // Multiply computes C = A·B with COSMA on the simulated distributed
-// machine and reports the measured communication.
+// machine and reports the measured communication (and, when
+// Options.Network is set, the predicted runtime).
 func Multiply(a, b *Matrix, opts Options) (*Matrix, *Report, error) {
 	opts = opts.normalize()
-	c := &core.COSMA{Delta: opts.Delta}
+	c := &core.COSMA{Delta: opts.Delta, Network: opts.Network}
 	return c.Run(a, b, opts.Procs, opts.Memory)
+}
+
+// PredictTime returns COSMA's analytic end-to-end runtime in seconds for
+// an m×k by k×n multiplication on p ranks with S words of memory each
+// under the given network: the α-β-γ evaluation of the busiest rank's
+// modeled messages, received words and flops. It evaluates at any scale,
+// including the paper's 18,432-core runs, without executing anything.
+// The grid is fitted with the default idle tolerance (DefaultDelta); a
+// Multiply with a non-default Options.Delta may fit a different grid and
+// report a different PredictedTime.
+func PredictTime(m, n, k, p, s int, net NetworkParams) float64 {
+	mod := (&core.COSMA{}).Model(m, n, k, p, s)
+	return net.Time(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs)
 }
 
 // SequentialResult reports an executed near-I/O-optimal sequential
@@ -157,12 +199,17 @@ func Plan(m, n, k, p, s int, delta float64) Decomposition {
 // Algorithms returns COSMA and the three baselines in the paper's
 // comparison order; each can Run on the simulated machine or produce an
 // analytic Model at any scale.
-func Algorithms() []Runner {
+func Algorithms() []Runner { return AlgorithmsNet(nil) }
+
+// AlgorithmsNet returns the comparison algorithms configured to execute
+// on the given network — nil for the counting transport, a NetworkParams
+// for the timed transport with runtime predictions in every report.
+func AlgorithmsNet(net *NetworkParams) []Runner {
 	return []Runner{
-		&core.COSMA{},
-		baselines.SUMMA{},
-		baselines.C25D{},
-		baselines.CARMA{},
+		&core.COSMA{Network: net},
+		baselines.SUMMA{Network: net},
+		baselines.C25D{Network: net},
+		baselines.CARMA{Network: net},
 	}
 }
 

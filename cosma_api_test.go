@@ -93,6 +93,59 @@ func TestAlgorithmsAgree(t *testing.T) {
 	}
 }
 
+func TestMultiplyOnTimedNetwork(t *testing.T) {
+	a := RandomMatrix(32, 32, 1)
+	b := RandomMatrix(32, 32, 2)
+	net := PizDaintNetwork()
+	got, rep, err := Multiply(a, b, Options{Procs: 4, Memory: 1 << 16, Network: &net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Network != "pizdaint" {
+		t.Fatalf("report network %q", rep.Network)
+	}
+	if rep.CritPathTime <= 0 || rep.PredictedTime <= 0 {
+		t.Fatalf("missing runtime prediction: %+v", rep)
+	}
+	// The result must be identical to the counting-transport run: timing
+	// is an overlay, not a behavioral change.
+	plain, plainRep, err := Multiply(a, b, Options{Procs: 4, Memory: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if got.Data[i] != plain.Data[i] {
+			t.Fatalf("timed result differs at %d", i)
+		}
+	}
+	if plainRep.Network != "" || plainRep.CritPathTime != 0 {
+		t.Fatalf("counting run carries timing: %+v", plainRep)
+	}
+	if plainRep.MaxVolume != rep.MaxVolume || plainRep.MaxMsgs != rep.MaxMsgs {
+		t.Fatalf("transports disagree on traffic: %+v vs %+v", plainRep, rep)
+	}
+}
+
+func TestPredictTimeScales(t *testing.T) {
+	net := PizDaintNetwork()
+	// At the paper's scale, more memory per rank must not slow COSMA
+	// down, and the prediction must be positive and finite.
+	small := PredictTime(16384, 16384, 16384, 1024, 1<<22, net)
+	big := PredictTime(16384, 16384, 16384, 1024, 1<<27, net)
+	if small <= 0 || big <= 0 {
+		t.Fatalf("nonpositive predictions %v %v", small, big)
+	}
+	if big > small {
+		t.Fatalf("extra memory slowed the prediction: S=2^22 %v < S=2^27 %v", small, big)
+	}
+	// A latency-heavy network must predict a slower run than shared
+	// memory for the same problem.
+	if eth, shm := PredictTime(512, 512, 512, 16, 1<<16, EthernetNetwork()),
+		PredictTime(512, 512, 512, 16, 1<<16, SharedMemoryNetwork()); eth <= shm {
+		t.Fatalf("ethernet %v not slower than shared memory %v", eth, shm)
+	}
+}
+
 func TestMatrixHelpers(t *testing.T) {
 	m := MatrixFromSlice(2, 2, []float64{1, 2, 3, 4})
 	if m.At(1, 0) != 3 {

@@ -1,0 +1,3 @@
+module cosma
+
+go 1.24

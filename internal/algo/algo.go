@@ -26,30 +26,52 @@ type Model struct {
 
 // Report describes one executed run on the simulated machine.
 type Report struct {
-	Name    string
-	Grid    string
-	P       int     // machine size
-	Used    int     // ranks that performed work
-	AvgRecv float64 // measured average received words per rank
-	MaxRecv int64
-	Total   int64 // total words moved (each counted once)
-	MaxMsgs int64
-	Model   Model // the analytic prediction for the same parameters
+	Name      string
+	Grid      string
+	P         int     // machine size
+	Used      int     // ranks that performed work
+	AvgRecv   float64 // measured average received words per rank
+	MaxRecv   int64
+	MaxVolume int64 // sent + received words on the busiest rank
+	Total     int64 // total words moved (each counted once)
+	MaxMsgs   int64
+	Model     Model // the analytic prediction for the same parameters
+
+	// Network names the timed transport's preset when the run executed
+	// on one; empty for counting-only runs, in which case the two time
+	// fields are zero.
+	Network string
+	// PredictedTime is the analytic α-β-γ evaluation of Model on the
+	// run's network: γ·MaxFlops + β·MaxRecv + α·MaxMsgs, in seconds.
+	PredictedTime float64
+	// CritPathTime is the measured critical path of the executed
+	// schedule — the latest per-rank event clock — in seconds.
+	CritPathTime float64
 }
 
-// NewReport assembles a Report from a finished machine run.
+// NewReport assembles a Report from a finished machine run. Runs on a
+// timed transport gain runtime predictions for free: the measured
+// event-clock critical path and the analytic evaluation of the model
+// under the same network parameters.
 func NewReport(name, gridStr string, m *machine.Machine, used int, model Model) *Report {
-	return &Report{
-		Name:    name,
-		Grid:    gridStr,
-		P:       m.P(),
-		Used:    used,
-		AvgRecv: m.AvgRecv(),
-		MaxRecv: m.MaxRecv(),
-		Total:   m.TotalVolume(),
-		MaxMsgs: m.MaxMessages(),
-		Model:   model,
+	rep := &Report{
+		Name:      name,
+		Grid:      gridStr,
+		P:         m.P(),
+		Used:      used,
+		AvgRecv:   m.AvgRecv(),
+		MaxRecv:   m.MaxRecv(),
+		MaxVolume: m.MaxVolume(),
+		Total:     m.TotalVolume(),
+		MaxMsgs:   m.MaxMessages(),
+		Model:     model,
 	}
+	if net, ok := m.Network(); ok {
+		rep.Network = net.Name
+		rep.PredictedTime = net.Time(model.MaxFlops, model.MaxRecv, model.MaxMsgs)
+		rep.CritPathTime = m.MaxTime()
+	}
+	return rep
 }
 
 // Runner is a distributed MMM algorithm: it multiplies on a simulated

@@ -19,7 +19,10 @@ import (
 // replication factor c targets c* = pS/(mk+nk) (§2.4), clamped to the
 // divisors of p; with c = 1 the algorithm degenerates to plain SUMMA, with
 // c = p^(1/3) to the 3D decomposition of Agarwal et al.
-type C25D struct{}
+type C25D struct {
+	// Network, when set, runs on the timed α-β-γ transport; nil counts.
+	Network *machine.NetworkParams
+}
 
 // Name implements algo.Runner.
 func (C25D) Name() string { return "CTF/2.5D" }
@@ -69,7 +72,7 @@ func (d C25D) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report,
 		return nil, nil, fmt.Errorf("baselines: 2.5D grid [%d×%d×%d] exceeds %d×%d×%d", pr, pc, c, m, n, k)
 	}
 
-	mach := machine.New(p)
+	mach := machine.NewWithNetwork(p, d.Network)
 	tiles := make([]*matrix.Dense, p)
 	err := mach.Run(func(r *machine.Rank) error {
 		tiles[r.ID()] = c25dRank(r, a, b, pr, pc, c, sMem)
@@ -154,19 +157,22 @@ func c25dRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, c, sMem int) *matrix.
 
 		var aChunk []float64
 		if j == aOwner {
-			aChunk = myA.View(0, seg.Lo-aPart.Lo, dm, seg.Len()).Pack(nil)
+			aChunk = myA.View(0, seg.Lo-aPart.Lo, dm, seg.Len()).Pack(machine.Loan(dm * seg.Len()))
 		}
 		aChunk = rowGroup.Bcast(aOwner, aChunk, c25TagA+seg.Lo)
 
 		var bChunk []float64
 		if i == bOwner {
-			bChunk = myB.View(seg.Lo-bPart.Lo, 0, seg.Len(), dn).Pack(nil)
+			bChunk = myB.View(seg.Lo-bPart.Lo, 0, seg.Len(), dn).Pack(machine.Loan(seg.Len() * dn))
 		}
 		bChunk = colGroup.Bcast(bOwner, bChunk, c25TagB+seg.Lo)
 
 		matrix.Mul(cTile,
 			matrix.FromSlice(dm, seg.Len(), aChunk),
 			matrix.FromSlice(seg.Len(), dn, bChunk))
+		r.Compute(matrix.MulFlops(dm, dn, seg.Len()))
+		machine.Release(aChunk)
+		machine.Release(bChunk)
 	}
 
 	// Reduce the layers' partial C tiles onto layer 0.

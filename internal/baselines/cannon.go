@@ -13,7 +13,10 @@ import (
 // decomposition (1969). It requires p to be a perfect square and the
 // matrix dimensions to be divisible by q; it exists as the classical
 // reference point of Table 3 and Figure 2.
-type Cannon struct{}
+type Cannon struct {
+	// Network, when set, runs on the timed α-β-γ transport; nil counts.
+	Network *machine.NetworkParams
+}
 
 // Name implements algo.Runner.
 func (Cannon) Name() string { return "Cannon-2D" }
@@ -40,21 +43,29 @@ func (c Cannon) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Repor
 	}
 	dm, dk, dn := m/q, k/q, n/q
 
-	mach := machine.New(p)
+	mach := machine.NewWithNetwork(p, c.Network)
 	tiles := make([]*matrix.Dense, p)
 	err := mach.Run(func(r *machine.Rank) error {
 		i, j := r.ID()/q, r.ID()%q // row-major torus coordinates
 		rank := func(ii, jj int) int { return mod(ii, q)*q + mod(jj, q) }
 
+		// shift passes a block around the torus with zero-copy ownership
+		// transfer: the outgoing buffer is dead for this rank the moment
+		// it is sent.
+		shift := func(dst int, block []float64, src, tag int) []float64 {
+			r.SendOwned(dst, tag, block)
+			return r.Recv(src, tag)
+		}
+
 		// Initial blocks, then the Cannon skew: A(i,j) ← A(i, j+i),
 		// B(i,j) ← B(i+j, j).
-		myA := a.View(i*dm, j*dk, dm, dk).Pack(nil)
-		myB := b.View(i*dk, j*dn, dk, dn).Pack(nil)
+		myA := a.View(i*dm, j*dk, dm, dk).Pack(machine.Loan(dm * dk))
+		myB := b.View(i*dk, j*dn, dk, dn).Pack(machine.Loan(dk * dn))
 		if q > 1 && i != 0 {
-			myA = r.SendRecv(rank(i, j-i), myA, rank(i, j+i), canTagSkewA)
+			myA = shift(rank(i, j-i), myA, rank(i, j+i), canTagSkewA)
 		}
 		if q > 1 && j != 0 {
-			myB = r.SendRecv(rank(i-j, j), myB, rank(i+j, j), canTagSkewB)
+			myB = shift(rank(i-j, j), myB, rank(i+j, j), canTagSkewB)
 		}
 
 		cTile := matrix.New(dm, dn)
@@ -62,12 +73,15 @@ func (c Cannon) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Repor
 			matrix.Mul(cTile,
 				matrix.FromSlice(dm, dk, myA),
 				matrix.FromSlice(dk, dn, myB))
+			r.Compute(matrix.MulFlops(dm, dn, dk))
 			if t == q-1 {
 				break
 			}
-			myA = r.SendRecv(rank(i, j-1), myA, rank(i, j+1), canTagA+t)
-			myB = r.SendRecv(rank(i-1, j), myB, rank(i+1, j), canTagB+t)
+			myA = shift(rank(i, j-1), myA, rank(i, j+1), canTagA+t)
+			myB = shift(rank(i-1, j), myB, rank(i+1, j), canTagB+t)
 		}
+		machine.Release(myA)
+		machine.Release(myB)
 		tiles[r.ID()] = cTile
 		return nil
 	})

@@ -20,7 +20,10 @@ import (
 // CARMA requires a power-of-two rank count (§1 lists this as one of its
 // limitations); Run leaves p − 2^⌊log₂ p⌋ ranks idle, exactly as the
 // paper's comparisons do on non-power-of-two allocations.
-type CARMA struct{}
+type CARMA struct {
+	// Network, when set, runs on the timed α-β-γ transport; nil counts.
+	Network *machine.NetworkParams
+}
 
 // Name implements algo.Runner.
 func (CARMA) Name() string { return "CARMA-recursive" }
@@ -50,7 +53,7 @@ func (c CARMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report
 		team[i] = i
 	}
 
-	mach := machine.New(p)
+	mach := machine.NewWithNetwork(p, c.Network)
 	out := matrix.New(m, n)
 	err := mach.Run(func(r *machine.Rank) error {
 		// Every rank (including idle ones beyond `used`) walks the same
@@ -101,6 +104,7 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 		if team[0] == r.ID() {
 			cLoc = matrix.New(mr, nr)
 			matrix.Mul(cLoc, aLoc, bLoc)
+			r.Compute(matrix.MulFlops(mr, nr, kr))
 		}
 		return []carmaPiece{{cols: nr, dist: layout.RowDist{Rows: mr, Team: team}, local: cLoc}}
 	}

@@ -27,7 +27,10 @@ import (
 // de Geijn and Watts on a pr×pc process grid — the 2D decomposition used
 // by ScaLAPACK's PDGEMM. The grid is the most square factorization of p;
 // every rank is used.
-type SUMMA struct{}
+type SUMMA struct {
+	// Network, when set, runs on the timed α-β-γ transport; nil counts.
+	Network *machine.NetworkParams
+}
 
 // Name implements algo.Runner.
 func (SUMMA) Name() string { return "ScaLAPACK/SUMMA-2D" }
@@ -66,7 +69,7 @@ func (s SUMMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report
 		return nil, nil, fmt.Errorf("baselines: grid %d×%d exceeds matrix %d×%d", pr, pc, m, n)
 	}
 
-	mach := machine.New(p)
+	mach := machine.NewWithNetwork(p, s.Network)
 	tiles := make([]*matrix.Dense, p)
 	err := mach.Run(func(r *machine.Rank) error {
 		tiles[r.ID()] = summaRank(r, a, b, pr, pc, sMem)
@@ -121,19 +124,22 @@ func summaRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, sMem int) *matrix.De
 
 		var aChunk []float64
 		if j == aOwner {
-			aChunk = myA.View(0, seg.Lo-aCols.Lo, dm, seg.Len()).Pack(nil)
+			aChunk = myA.View(0, seg.Lo-aCols.Lo, dm, seg.Len()).Pack(machine.Loan(dm * seg.Len()))
 		}
 		aChunk = rowGroup.Bcast(aOwner, aChunk, sumTagA+seg.Lo)
 
 		var bChunk []float64
 		if i == bOwner {
-			bChunk = myB.View(seg.Lo-bRows.Lo, 0, seg.Len(), dn).Pack(nil)
+			bChunk = myB.View(seg.Lo-bRows.Lo, 0, seg.Len(), dn).Pack(machine.Loan(seg.Len() * dn))
 		}
 		bChunk = colGroup.Bcast(bOwner, bChunk, sumTagB+seg.Lo)
 
 		matrix.Mul(cTile,
 			matrix.FromSlice(dm, seg.Len(), aChunk),
 			matrix.FromSlice(seg.Len(), dn, bChunk))
+		r.Compute(matrix.MulFlops(dm, dn, seg.Len()))
+		machine.Release(aChunk)
+		machine.Release(bChunk)
 	}
 	return cTile
 }

@@ -1,0 +1,74 @@
+package comm
+
+import (
+	"testing"
+
+	"cosma/internal/machine"
+)
+
+// benchBcast broadcasts a 4096-word panel from rank 0 over a binary tree
+// b.N times. With the pooled machine, interior hops recycle buffers once
+// receivers Release them; the unpooled machine is the naive
+// copy-per-hop baseline the CHANGES.md allocation record compares
+// against.
+func benchBcast(b *testing.B, m *machine.Machine) {
+	const words = 4096
+	p := m.P()
+	ids := make([]int, p)
+	for i := range ids {
+		ids[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := m.Run(func(r *machine.Rank) error {
+		g := NewGroup(r, ids)
+		var data []float64
+		if g.Index() == 0 {
+			data = make([]float64, words)
+		}
+		for i := 0; i < b.N; i++ {
+			got := g.Bcast(0, data, 1)
+			if g.Index() != 0 {
+				machine.Release(got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBcastP16(b *testing.B)         { benchBcast(b, machine.New(16)) }
+func BenchmarkBcastP16Unpooled(b *testing.B) { benchBcast(b, machine.NewUnpooled(16)) }
+func BenchmarkBcastP64(b *testing.B)         { benchBcast(b, machine.New(64)) }
+func BenchmarkBcastP64Unpooled(b *testing.B) { benchBcast(b, machine.NewUnpooled(64)) }
+
+// benchReduce exercises the zero-copy ascent: accumulators travel up the
+// tree with SendOwned and child partials return to the pool.
+func benchReduce(b *testing.B, m *machine.Machine) {
+	const words = 4096
+	p := m.P()
+	ids := make([]int, p)
+	for i := range ids {
+		ids[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := m.Run(func(r *machine.Rank) error {
+		g := NewGroup(r, ids)
+		data := make([]float64, words)
+		for i := 0; i < b.N; i++ {
+			if got := g.Reduce(0, data, 1); got != nil {
+				machine.Release(got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkReduceP16(b *testing.B)         { benchReduce(b, machine.New(16)) }
+func BenchmarkReduceP16Unpooled(b *testing.B) { benchReduce(b, machine.NewUnpooled(16)) }

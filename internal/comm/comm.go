@@ -84,17 +84,17 @@ func (g *Group) Bcast(root int, data []float64, tag int) []float64 {
 
 // Reduce sums the members' equally-sized data slices along a binary tree
 // into the member at index root, which receives the total; other members
-// return nil. data is not modified.
+// return nil. data is not modified. The accumulator travels up the tree
+// with zero-copy ownership transfer, and received child partials return
+// to the machine's buffer pool once folded in.
 func (g *Group) Reduce(root int, data []float64, tag int) []float64 {
 	g.checkRoot(root)
+	acc := machine.Loan(len(data))
+	copy(acc, data)
 	if len(g.ranks) == 1 {
-		out := make([]float64, len(data))
-		copy(out, data)
-		return out
+		return acc
 	}
 	parent, children := g.tree(root)
-	acc := make([]float64, len(data))
-	copy(acc, data)
 	for _, c := range children {
 		part := g.rank.Recv(g.ranks[c], tag)
 		if len(part) != len(acc) {
@@ -103,9 +103,10 @@ func (g *Group) Reduce(root int, data []float64, tag int) []float64 {
 		for i, v := range part {
 			acc[i] += v
 		}
+		machine.Release(part)
 	}
 	if parent >= 0 {
-		g.rank.Send(g.ranks[parent], tag, acc)
+		g.rank.SendOwned(g.ranks[parent], tag, acc)
 		return nil
 	}
 	return acc
@@ -185,4 +186,16 @@ func ReduceVolume(n int, w float64) float64 {
 		return 0
 	}
 	return float64(n-1) * w
+}
+
+// TreeDepth returns the depth ⌈log₂ n⌉ of the binary broadcast and
+// reduction trees over n members — the number of sequential message hops
+// a collective contributes to the timed transport's critical path, and
+// the latency term the analytic models charge per collective.
+func TreeDepth(n int) int {
+	d := 0
+	for v := 1; v < n; v <<= 1 {
+		d++
+	}
+	return d
 }

@@ -28,6 +28,10 @@ const DefaultDelta = 0.03
 type COSMA struct {
 	// Delta is the grid-fitting idle tolerance; zero means DefaultDelta.
 	Delta float64
+	// Network, when set, runs the algorithm on the timed α-β-γ transport
+	// so the report carries runtime predictions; nil uses the counting
+	// transport.
+	Network *machine.NetworkParams
 }
 
 // Name implements algo.Runner.
@@ -57,7 +61,7 @@ func (c *COSMA) Run(a, b *matrix.Dense, p, s int) (*matrix.Dense, *algo.Report, 
 	m, k, n := a.Rows, a.Cols, b.Cols
 	g := grid.Fit(m, n, k, p, s, c.delta())
 
-	mach := machine.New(p)
+	mach := machine.NewWithNetwork(p, c.Network)
 	tiles := make([]*matrix.Dense, p) // final C tiles, indexed by rank
 	err := mach.Run(func(r *machine.Rank) error {
 		if r.ID() >= g.Ranks() {
@@ -117,25 +121,30 @@ func (c *COSMA) rankProgram(r *machine.Rank, g grid.Grid, a, b *matrix.Dense, s 
 	// Walk the slab over the union breakpoints of the A and B ownership
 	// partitions, sub-chunked to the latency-minimizing step, so each
 	// round broadcasts one owner's contiguous k-range of each panel.
+	// Panel buffers are loaned from the machine pool and released once
+	// multiplied in, so the round loop allocates nothing at steady state.
 	for _, seg := range segments(slab.Len(), aParts, bParts, step) {
 		aOwner := ownerOf(aParts, seg.Lo)
 		bOwner := ownerOf(bParts, seg.Lo)
 
 		var aChunk []float64
 		if in == aOwner {
-			aChunk = myA.View(0, seg.Lo-aParts[aOwner].Lo, dm, seg.Len()).Pack(nil)
+			aChunk = myA.View(0, seg.Lo-aParts[aOwner].Lo, dm, seg.Len()).Pack(machine.Loan(dm * seg.Len()))
 		}
 		aChunk = colGroup.Bcast(aOwner, aChunk, tagA+seg.Lo)
 
 		var bChunk []float64
 		if im == bOwner {
-			bChunk = myB.View(seg.Lo-bParts[bOwner].Lo, 0, seg.Len(), dn).Pack(nil)
+			bChunk = myB.View(seg.Lo-bParts[bOwner].Lo, 0, seg.Len(), dn).Pack(machine.Loan(seg.Len() * dn))
 		}
 		bChunk = rowGroup.Bcast(bOwner, bChunk, tagB+seg.Lo)
 
 		matrix.Mul(cTile,
 			matrix.FromSlice(dm, seg.Len(), aChunk),
 			matrix.FromSlice(seg.Len(), dn, bChunk))
+		r.Compute(matrix.MulFlops(dm, dn, seg.Len()))
+		machine.Release(aChunk)
+		machine.Release(bChunk)
 	}
 
 	// Reduce the partial C tiles along the fiber to the ik = 0 root.
@@ -223,17 +232,9 @@ func (c *COSMA) Model(m, n, k, p, s int) algo.Model {
 		Used:     g.Ranks(),
 		AvgRecv:  avg,
 		MaxRecv:  maxRecv,
-		MaxMsgs:  2*rounds + 2*float64(log2Ceil(g.Pk)),
+		MaxMsgs:  2*rounds + 2*float64(comm.TreeDepth(g.Pk)),
 		MaxFlops: 2 * float64(dm) * float64(dn) * float64(dk),
 	}
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
-
-func log2Ceil(x int) int {
-	n := 0
-	for v := 1; v < x; v <<= 1 {
-		n++
-	}
-	return n
-}

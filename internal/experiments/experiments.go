@@ -21,6 +21,7 @@ import (
 	"cosma/internal/core"
 	"cosma/internal/costmodel"
 	"cosma/internal/grid"
+	"cosma/internal/machine"
 	"cosma/internal/matrix"
 	"cosma/internal/perfmodel"
 	"cosma/internal/report"
@@ -29,12 +30,16 @@ import (
 )
 
 // Runners returns the four algorithms in the paper's comparison order.
-func Runners() []algo.Runner {
+func Runners() []algo.Runner { return RunnersNet(nil) }
+
+// RunnersNet returns the comparison algorithms configured to execute on
+// the given network (nil for the counting transport).
+func RunnersNet(net *machine.NetworkParams) []algo.Runner {
 	return []algo.Runner{
-		&core.COSMA{},
-		baselines.SUMMA{},
-		baselines.C25D{},
-		baselines.CARMA{},
+		&core.COSMA{Network: net},
+		baselines.SUMMA{Network: net},
+		baselines.C25D{Network: net},
+		baselines.CARMA{Network: net},
 	}
 }
 

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cosma/internal/algo"
+	"cosma/internal/baselines"
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+	"cosma/internal/report"
+)
+
+// TimeVsVolume executes COSMA and every baseline (including Cannon where
+// its square-grid restriction allows) on the timed transport and tabulates
+// measured communication volume against predicted runtime — the shape of
+// the paper's Figure 6 comparison, at simulation scale, with time instead
+// of (only) volume on the y axis. Memory is constrained to ~3 output
+// tiles per rank so the algorithms are squeezed into their
+// limited-memory regimes, where their volumes genuinely differ.
+func TimeVsVolume(net machine.NetworkParams) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Time vs volume on the %q network — executed at simulation scale (Figure 6 shape)", net.Name),
+		"cores", "algorithm", "grid", "max words/rank", "max msgs", "predicted", "critical path")
+	rng := rand.New(rand.NewSource(3))
+	n := 256
+	a := matrix.Random(n, n, rng)
+	b := matrix.Random(n, n, rng)
+	for _, p := range []int{4, 16, 64} {
+		s := 3 * n * n / p
+		runners := append(RunnersNet(&net), baselines.Cannon{Network: &net})
+		for _, r := range runners {
+			_, rep, err := r.Run(a, b, p, s)
+			if err != nil {
+				if _, ok := r.(baselines.Cannon); ok {
+					continue // expected square-grid/divisibility restriction
+				}
+				t.AddRow(p, r.Name(), "error: "+err.Error(), "-", "-", "-", "-")
+				continue
+			}
+			t.AddRow(p, rep.Name, rep.Grid, float64(rep.MaxVolume),
+				float64(rep.MaxMsgs), report.Seconds(rep.PredictedTime),
+				report.Seconds(rep.CritPathTime))
+		}
+	}
+	return t
+}
+
+// TimedReports runs every algorithm once on the timed transport for the
+// given problem and returns the reports — the cross-algorithm comparison
+// surface the tests assert orderings on.
+func TimedReports(m, n, k, p, s int, net machine.NetworkParams, seed int64) ([]*algo.Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.Random(m, k, rng)
+	b := matrix.Random(k, n, rng)
+	var reps []*algo.Report
+	for _, r := range RunnersNet(&net) {
+		_, rep, err := r.Run(a, b, p, s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Name(), err)
+		}
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}

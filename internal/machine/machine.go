@@ -5,12 +5,15 @@
 // any schedule with matching sends and receives executes deterministically
 // and without artificial deadlock.
 //
-// The machine counts, per rank, the words and messages sent and received —
+// Rank traffic flows through a pluggable Transport. The default counting
+// transport tallies, per rank, the words and messages sent and received —
 // the horizontal I/O cost Q and latency cost L of §2.3, i.e. what the
 // paper measures with the mpiP profiler. It substitutes for MPI on a real
 // interconnect: communication volume is a property of the schedule, not of
 // the wire, so counting words that cross rank boundaries in-process yields
-// the same per-rank volumes.
+// the same per-rank volumes. The timed transport (NewTimed) additionally
+// runs an α-β-γ event clock per rank, turning the same execution into a
+// runtime prediction.
 package machine
 
 import (
@@ -19,73 +22,90 @@ import (
 	"sync"
 )
 
-// Counters aggregates one rank's traffic.
+// Counters aggregates one rank's traffic and work.
 type Counters struct {
 	SentWords int64 // float64 words sent to other ranks
 	RecvWords int64 // float64 words received from other ranks
 	SentMsgs  int64 // messages sent
 	RecvMsgs  int64 // messages received
+	Flops     int64 // floating-point operations registered via Compute
 }
 
 // Volume returns the rank's total communication volume in words
 // (sent + received), the per-rank quantity reported in Table 4.
 func (c Counters) Volume() int64 { return c.SentWords + c.RecvWords }
 
-type message struct {
-	src  int
-	tag  int
-	data []float64
-}
+// Messages returns the rank's total message count (sent + received),
+// the latency proxy L of §2.3.
+func (c Counters) Messages() int64 { return c.SentMsgs + c.RecvMsgs }
 
-// mailbox is one rank's unbounded receive queue.
-type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []message
-}
-
-// Machine is a simulated distributed machine of p ranks.
+// Machine is a simulated distributed machine of p ranks over a
+// Transport.
 type Machine struct {
-	p       int
-	boxes   []*mailbox
-	count   []Counters
+	t       Transport
 	barrier *barrier
 }
 
-// New returns a machine with p ranks.
-func New(p int) *Machine {
+// New returns a machine with p ranks on the counting transport.
+func New(p int) *Machine { return NewWithTransport(newCountingTransport(p, true)) }
+
+// NewUnpooled returns a counting machine whose internal message copies
+// bypass the shared buffer pool — the naive copy-per-hop baseline that
+// the allocation benchmarks compare against.
+func NewUnpooled(p int) *Machine { return NewWithTransport(newCountingTransport(p, false)) }
+
+// NewTimed returns a machine with p ranks on the timed α-β-γ transport.
+func NewTimed(p int, net NetworkParams) *Machine {
+	checkP(p)
+	return NewWithTransport(newTimed(p, net))
+}
+
+// NewWithNetwork returns a counting machine when net is nil and a timed
+// machine otherwise — the one-liner the algorithm implementations use to
+// honor an optional network configuration.
+func NewWithNetwork(p int, net *NetworkParams) *Machine {
+	if net == nil {
+		return New(p)
+	}
+	return NewTimed(p, *net)
+}
+
+// NewWithTransport returns a machine over an arbitrary transport
+// backend.
+func NewWithTransport(t Transport) *Machine {
+	checkP(t.P())
+	return &Machine{t: t, barrier: newBarrier(t.P(), t.BarrierSync)}
+}
+
+func newCountingTransport(p int, pooled bool) Transport {
+	checkP(p)
+	return newCounting(p, pooled)
+}
+
+func checkP(p int) {
 	if p < 1 {
 		panic(fmt.Sprintf("machine: p = %d must be ≥ 1", p))
 	}
-	m := &Machine{
-		p:       p,
-		boxes:   make([]*mailbox, p),
-		count:   make([]Counters, p),
-		barrier: newBarrier(p),
-	}
-	for i := range m.boxes {
-		b := &mailbox{}
-		b.cond = sync.NewCond(&b.mu)
-		m.boxes[i] = b
-	}
-	return m
 }
 
 // P returns the number of ranks.
-func (m *Machine) P() int { return m.p }
+func (m *Machine) P() int { return m.t.P() }
+
+// Transport returns the machine's transport backend.
+func (m *Machine) Transport() Transport { return m.t }
 
 // Run executes program on every rank concurrently and waits for all of
 // them. A panic in any rank is recovered and reported as an error; the
-// first error (by rank order) is returned. Counters reset at the start of
-// each Run.
+// first error (by rank order) is returned. Counters, clocks and barrier
+// poisoning reset at the start of each Run.
 func (m *Machine) Run(program func(r *Rank) error) error {
-	for i := range m.count {
-		m.count[i] = Counters{}
-	}
-	errs := make([]error, m.p)
+	m.t.Reset()
+	m.barrier.reset()
+	p := m.P()
+	errs := make([]error, p)
 	var wg sync.WaitGroup
-	wg.Add(m.p)
-	for id := 0; id < m.p; id++ {
+	wg.Add(p)
+	for id := 0; id < p; id++ {
 		go func(id int) {
 			defer wg.Done()
 			defer func() {
@@ -108,71 +128,86 @@ func (m *Machine) Run(program func(r *Rank) error) error {
 }
 
 // Counters returns rank id's traffic from the last Run.
-func (m *Machine) Counters(id int) Counters { return m.count[id] }
+func (m *Machine) Counters(id int) Counters { return m.t.Counters(id) }
 
-// TotalVolume returns the machine-wide communication volume in words
-// (every word counted once at the sender and once at the receiver, then
-// halved).
-func (m *Machine) TotalVolume() int64 {
-	var total int64
-	for _, c := range m.count {
-		total += c.Volume()
+// Network returns the machine's α-β-γ parameters and true when it runs
+// on a timed transport.
+func (m *Machine) Network() (NetworkParams, bool) { return m.t.Network() }
+
+// Times returns a copy of the per-rank logical clocks in seconds after
+// the last Run, or nil when the machine is untimed.
+func (m *Machine) Times() []float64 {
+	live := m.t.Times()
+	if live == nil {
+		return nil
 	}
-	return total / 2
+	times := make([]float64, len(live))
+	copy(times, live)
+	return times
 }
 
-// MaxVolume returns the largest per-rank volume in words.
-func (m *Machine) MaxVolume() int64 {
-	var max int64
-	for _, c := range m.count {
-		if v := c.Volume(); v > max {
-			max = v
+// MaxTime returns the latest per-rank clock — the critical-path runtime
+// of the executed schedule on the timed transport (zero when untimed).
+func (m *Machine) MaxTime() float64 {
+	var max float64
+	for _, t := range m.t.Times() {
+		if t > max {
+			max = t
 		}
 	}
 	return max
 }
 
+// Reduce folds f over every rank's Counters from the last Run — the one
+// generic per-rank reduction behind all the aggregate statistics.
+func Reduce[T any](m *Machine, init T, f func(T, Counters) T) T {
+	acc := init
+	for id := 0; id < m.P(); id++ {
+		acc = f(acc, m.t.Counters(id))
+	}
+	return acc
+}
+
+func maxOver(m *Machine, metric func(Counters) int64) int64 {
+	return Reduce(m, 0, func(acc int64, c Counters) int64 {
+		if v := metric(c); v > acc {
+			return v
+		}
+		return acc
+	})
+}
+
+func sumOver(m *Machine, metric func(Counters) int64) int64 {
+	return Reduce(m, 0, func(acc int64, c Counters) int64 { return acc + metric(c) })
+}
+
+// TotalVolume returns the machine-wide communication volume in words
+// (every word counted once at the sender and once at the receiver, then
+// halved).
+func (m *Machine) TotalVolume() int64 { return sumOver(m, Counters.Volume) / 2 }
+
+// MaxVolume returns the largest per-rank volume in words.
+func (m *Machine) MaxVolume() int64 { return maxOver(m, Counters.Volume) }
+
 // AvgVolume returns the mean per-rank volume in words.
 func (m *Machine) AvgVolume() float64 {
-	var total int64
-	for _, c := range m.count {
-		total += c.Volume()
-	}
-	return float64(total) / float64(m.p)
+	return float64(sumOver(m, Counters.Volume)) / float64(m.P())
 }
 
 // AvgRecv returns the mean per-rank received words — the "MB communicated
 // per core" metric of Figures 6–7 and Table 4.
 func (m *Machine) AvgRecv() float64 {
-	var total int64
-	for _, c := range m.count {
-		total += c.RecvWords
-	}
-	return float64(total) / float64(m.p)
+	return float64(sumOver(m, func(c Counters) int64 { return c.RecvWords })) / float64(m.P())
 }
 
 // MaxRecv returns the largest per-rank received word count.
 func (m *Machine) MaxRecv() int64 {
-	var max int64
-	for _, c := range m.count {
-		if c.RecvWords > max {
-			max = c.RecvWords
-		}
-	}
-	return max
+	return maxOver(m, func(c Counters) int64 { return c.RecvWords })
 }
 
 // MaxMessages returns the largest per-rank message count (sent +
 // received), the latency proxy L of §2.3.
-func (m *Machine) MaxMessages() int64 {
-	var max int64
-	for _, c := range m.count {
-		if v := c.SentMsgs + c.RecvMsgs; v > max {
-			max = v
-		}
-	}
-	return max
-}
+func (m *Machine) MaxMessages() int64 { return maxOver(m, Counters.Messages) }
 
 // Rank is one process of a running program. A Rank value is only valid
 // inside the goroutine Run created it for.
@@ -185,81 +220,79 @@ type Rank struct {
 func (r *Rank) ID() int { return r.id }
 
 // P returns the machine size.
-func (r *Rank) P() int { return r.m.p }
+func (r *Rank) P() int { return r.m.P() }
 
 // Send delivers a copy of data to rank dst with the given tag. Sending to
 // oneself is a local copy and is not counted as communication. Send never
 // blocks (eager unbounded buffering).
 func (r *Rank) Send(dst, tag int, data []float64) {
-	if dst < 0 || dst >= r.m.p {
-		panic(fmt.Sprintf("machine: rank %d sends to invalid rank %d", r.id, dst))
-	}
-	cp := make([]float64, len(data))
-	copy(cp, data)
-	if dst != r.id {
-		r.m.count[r.id].SentWords += int64(len(data))
-		r.m.count[r.id].SentMsgs++
-	}
-	box := r.m.boxes[dst]
-	box.mu.Lock()
-	box.queue = append(box.queue, message{src: r.id, tag: tag, data: cp})
-	box.mu.Unlock()
-	box.cond.Broadcast()
+	r.checkPeer(dst, "sends to")
+	r.m.t.Send(r.id, dst, tag, data, false)
+}
+
+// SendOwned delivers data to rank dst with the given tag, transferring
+// ownership of the buffer to the transport (and ultimately the
+// receiver) without copying. The caller must not touch data afterwards.
+func (r *Rank) SendOwned(dst, tag int, data []float64) {
+	r.checkPeer(dst, "sends to")
+	r.m.t.Send(r.id, dst, tag, data, true)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. Messages from the same source with the same tag are
 // delivered in send order. Receiving from oneself returns the locally
-// sent copy and is not counted.
+// sent copy and is not counted. The caller owns the returned buffer and
+// may recycle it with Release once the payload is dead.
 func (r *Rank) Recv(src, tag int) []float64 {
-	if src < 0 || src >= r.m.p {
-		panic(fmt.Sprintf("machine: rank %d receives from invalid rank %d", r.id, src))
-	}
-	box := r.m.boxes[r.id]
-	box.mu.Lock()
-	defer box.mu.Unlock()
-	for {
-		for i, msg := range box.queue {
-			if msg.src == src && msg.tag == tag {
-				box.queue = append(box.queue[:i], box.queue[i+1:]...)
-				if src != r.id {
-					r.m.count[r.id].RecvWords += int64(len(msg.data))
-					r.m.count[r.id].RecvMsgs++
-				}
-				return msg.data
-			}
-		}
-		box.cond.Wait()
-	}
+	r.checkPeer(src, "receives from")
+	return r.m.t.Recv(r.id, src, tag)
+}
+
+// Compute registers flops floating-point operations of local work —
+// algorithms call it around their kernel invocations so the timed
+// transport can charge γ·flops to this rank's clock.
+func (r *Rank) Compute(flops int64) {
+	r.m.t.Compute(r.id, flops)
 }
 
 // SendRecv sends sendData to dst and receives from src with the same tag,
-// without deadlocking for any pairing pattern.
+// without deadlocking for any pairing pattern (including dst == src ==
+// self, which round-trips through the local mailbox).
 func (r *Rank) SendRecv(dst int, sendData []float64, src, tag int) []float64 {
 	r.Send(dst, tag, sendData)
 	return r.Recv(src, tag)
 }
 
-// Barrier blocks until every rank of the machine has reached it.
+// Barrier blocks until every rank of the machine has reached it. On the
+// timed transport the barrier max-propagates the logical clocks.
 func (r *Rank) Barrier() {
 	if err := r.m.barrier.await(); err != nil {
 		panic(err)
 	}
 }
 
-// barrier is a reusable p-party barrier. poison releases all waiters with
-// an error after a rank dies, so Run can terminate.
-type barrier struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	n        int
-	waiting  int
-	round    int
-	poisoned bool
+func (r *Rank) checkPeer(peer int, verb string) {
+	if peer < 0 || peer >= r.m.P() {
+		panic(fmt.Sprintf("machine: rank %d %s invalid rank %d", r.id, verb, peer))
+	}
 }
 
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
+// barrier is a reusable p-party barrier. poison releases all waiters with
+// an error after a rank dies, so Run can terminate. onComplete runs under
+// the barrier lock when the last rank arrives (the transport's clock
+// propagation hook).
+type barrier struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	n          int
+	waiting    int
+	round      int
+	poisoned   bool
+	onComplete func()
+}
+
+func newBarrier(n int, onComplete func()) *barrier {
+	b := &barrier{n: n, onComplete: onComplete}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -275,6 +308,9 @@ func (b *barrier) await() error {
 	if b.waiting == b.n {
 		b.waiting = 0
 		b.round++
+		if b.onComplete != nil {
+			b.onComplete()
+		}
 		b.cond.Broadcast()
 		return nil
 	}
@@ -292,4 +328,13 @@ func (b *barrier) poison() {
 	b.poisoned = true
 	b.mu.Unlock()
 	b.cond.Broadcast()
+}
+
+// reset clears poisoning between Runs; Run guarantees no rank is parked
+// in the barrier when it calls this.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.poisoned = false
+	b.waiting = 0
+	b.mu.Unlock()
 }

@@ -234,6 +234,193 @@ func TestManyRanksAllToOne(t *testing.T) {
 	}
 }
 
+func TestSendRecvSelfPairing(t *testing.T) {
+	// SendRecv with dst == src == self must round-trip through the local
+	// mailbox without blocking or counting traffic.
+	m := New(3)
+	err := m.Run(func(r *Rank) error {
+		got := r.SendRecv(r.ID(), []float64{float64(r.ID()), 7}, r.ID(), 4)
+		if len(got) != 2 || got[0] != float64(r.ID()) || got[1] != 7 {
+			t.Errorf("rank %d self SendRecv = %v", r.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		if c := m.Counters(id); c.Volume() != 0 || c.Messages() != 0 {
+			t.Fatalf("rank %d self SendRecv counted: %+v", id, c)
+		}
+	}
+}
+
+func TestKeyedMailboxFIFOUnderMixedSends(t *testing.T) {
+	// Same-(src, tag) messages must arrive in send order even when Send
+	// and SendOwned interleave and a second tag's traffic is in flight.
+	const msgs = 200
+	m := New(2)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				if i%2 == 0 {
+					r.Send(1, 3, []float64{float64(i)})
+				} else {
+					r.SendOwned(1, 3, []float64{float64(i)})
+				}
+				r.Send(1, 9, []float64{float64(-i)}) // decoy key
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				if got := r.Recv(0, 3); got[0] != float64(i) {
+					t.Errorf("message %d out of order: %v", i, got)
+					return nil
+				}
+			}
+			for i := 0; i < msgs; i++ {
+				if got := r.Recv(0, 9); got[0] != float64(-i) {
+					t.Errorf("decoy %d out of order: %v", i, got)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Counters(1); c.RecvMsgs != 2*msgs {
+		t.Fatalf("received %d messages, want %d", c.RecvMsgs, 2*msgs)
+	}
+}
+
+func TestSendOwnedCountsLikeSend(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.SendOwned(1, 0, make([]float64, 5))
+		} else {
+			if got := r.Recv(0, 0); len(got) != 5 {
+				t.Errorf("recv %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Counters(0); c.SentWords != 5 || c.SentMsgs != 1 {
+		t.Fatalf("SendOwned miscounted: %+v", c)
+	}
+}
+
+func TestBarrierPoisonedByPanicThenMachineReusable(t *testing.T) {
+	// A rank panic poisons the barrier so survivors unblock; the next Run
+	// must start with a clean barrier.
+	m := New(2)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			panic("rank 0 dies mid-phase")
+		}
+		r.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error from panicked rank")
+	}
+	err = m.Run(func(r *Rank) error {
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("machine unusable after poisoning: %v", err)
+	}
+}
+
+func TestFailedRunLeavesNoStaleMessages(t *testing.T) {
+	// Run 1 dies with a message still undelivered; Run 2 on the same
+	// machine must not receive Run 1's payload.
+	m := New(2)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 1, []float64{-1}) // never received
+			panic("rank 0 dies after sending")
+		}
+		r.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error from panicked rank")
+	}
+	err = m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 1, []float64{42})
+		} else {
+			if got := r.Recv(0, 1); got[0] != 42 {
+				t.Errorf("second run received stale payload %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Counters(1); c.RecvMsgs != 1 {
+		t.Fatalf("stale message counted: %+v", c)
+	}
+}
+
+func TestComputeAccumulates(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(r *Rank) error {
+		r.Compute(100)
+		r.Compute(23)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counters(1).Flops; got != 123 {
+		t.Fatalf("Flops = %d, want 123", got)
+	}
+}
+
+func TestLoanReleaseRecycles(t *testing.T) {
+	buf := Loan(100)
+	if len(buf) != 100 || cap(buf) != 128 {
+		t.Fatalf("Loan(100) len %d cap %d", len(buf), cap(buf))
+	}
+	Release(buf)
+	// Non-pool buffers (non-power-of-two capacity) are silently dropped.
+	odd := make([]float64, 3, 3)
+	Release(odd)
+	if got := Loan(0); got != nil {
+		t.Fatalf("Loan(0) = %v", got)
+	}
+	Release(nil)
+}
+
+func TestReduceHelper(t *testing.T) {
+	m := New(4)
+	err := m.Run(func(r *Rank) error {
+		if r.ID() != 0 {
+			r.Send(0, 1, make([]float64, r.ID()))
+		} else {
+			for src := 1; src < 4; src++ {
+				r.Recv(src, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Reduce(m, int64(0), func(acc int64, c Counters) int64 { return acc + c.RecvWords })
+	if sum != 6 {
+		t.Fatalf("Reduce sum = %d, want 6", sum)
+	}
+}
+
 func TestVolumeStats(t *testing.T) {
 	m := New(4)
 	err := m.Run(func(r *Rank) error {

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// The shared buffer pool behind the zero-copy message discipline. Every
+// payload the transports copy internally is drawn from here, and
+// receivers may hand buffers back with Release once a message is dead,
+// so steady-state simulation of large panels recycles memory instead of
+// allocating one slice per hop.
+//
+// Buffers are pooled in power-of-two size classes. To keep Get/Put free
+// of interface-boxing allocations, the pools store *header values (a
+// pointer, which fits an interface word) rather than raw slices; the
+// headers themselves are recycled through a second pool.
+
+type bufHeader struct{ data []float64 }
+
+var headerPool = sync.Pool{New: func() interface{} { return new(bufHeader) }}
+
+// classPools[c] holds buffers with capacity exactly 1<<c.
+var classPools [33]sync.Pool
+
+// sizeClass returns the smallest c with 1<<c ≥ n (n ≥ 1).
+func sizeClass(n int) int { return bits.Len(uint(n - 1)) }
+
+// Loan returns an n-word buffer from the shared pool (contents
+// unspecified — callers overwrite it fully). The caller owns the buffer
+// and may pass it on with SendOwned or hand it back with Release.
+func Loan(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if c >= len(classPools) {
+		return make([]float64, n)
+	}
+	if v := classPools[c].Get(); v != nil {
+		h := v.(*bufHeader)
+		buf := h.data[:n]
+		h.data = nil
+		headerPool.Put(h)
+		return buf
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// Release returns a buffer obtained from Loan or Recv to the shared
+// pool. The caller must not touch buf afterwards. Release is only safe
+// for buffers the caller owns outright — obtained from Loan or Recv and
+// aliased nowhere else; pooling a slice that other code still references
+// corrupts whatever Loan later hands it to. Buffers with a
+// non-power-of-two capacity (which cannot have come from the pool) are
+// silently dropped, so over-releasing Pack-allocated payloads is
+// harmless, but that check is a heuristic, not a safety guarantee.
+func Release(buf []float64) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := bits.TrailingZeros(uint(c))
+	if class >= len(classPools) {
+		return
+	}
+	h := headerPool.Get().(*bufHeader)
+	h.data = buf[:c]
+	classPools[class].Put(h)
+}

@@ -1,0 +1,163 @@
+package machine
+
+import "fmt"
+
+// NetworkParams are the constants of the α-β-γ machine model: a message
+// costs α seconds of latency, every word (8-byte float64) β seconds of
+// bandwidth, and every floating-point operation γ seconds of compute.
+// This is the cost surface of §2.3 (Q·G + L·L̂) with G = β and L̂ = α,
+// extended with compute so whole-algorithm runtimes can be predicted.
+type NetworkParams struct {
+	Name  string  // preset name, for reports
+	Alpha float64 // seconds per message (latency)
+	Beta  float64 // seconds per word (inverse bandwidth)
+	Gamma float64 // seconds per flop (inverse peak rate)
+}
+
+// Time is the analytic evaluation of the model: the runtime of a rank
+// that computes flops, receives words and exchanges msgs messages with
+// no overlap.
+func (n NetworkParams) Time(flops, words, msgs float64) float64 {
+	return n.Gamma*flops + n.Beta*words + n.Alpha*msgs
+}
+
+// PizDaintNet returns Piz-Daint-like constants, matching the perfmodel
+// package: 1.5 µs Aries latency, 0.29 GB/s sustained per-core injection
+// bandwidth (≈ 3.6e7 words/s) and 36.8 Gflop/s per core.
+func PizDaintNet() NetworkParams {
+	return NetworkParams{
+		Name:  "pizdaint",
+		Alpha: 1.5e-6,
+		Beta:  1 / 3.6e7,
+		Gamma: 1 / 36.8e9,
+	}
+}
+
+// CommodityEthernet returns a 10 GbE commodity-cluster profile: 30 µs
+// kernel-stack latency, 1.25 GB/s line rate (≈ 1.56e8 words/s) shared
+// per node, and a 20 Gflop/s core. Latency-heavy: it punishes
+// message-count-heavy schedules hardest.
+func CommodityEthernet() NetworkParams {
+	return NetworkParams{
+		Name:  "ethernet",
+		Alpha: 30e-6,
+		Beta:  1 / 1.5625e8,
+		Gamma: 1 / 20e9,
+	}
+}
+
+// SharedMemory returns an intra-node profile: ~200 ns handoff, 10 GB/s
+// per-core copy bandwidth (1.25e9 words/s) and a 36.8 Gflop/s core.
+// Bandwidth and latency nearly vanish against compute, so schedules are
+// separated almost purely by their flop balance.
+func SharedMemory() NetworkParams {
+	return NetworkParams{
+		Name:  "sharedmem",
+		Alpha: 2e-7,
+		Beta:  1 / 1.25e9,
+		Gamma: 1 / 36.8e9,
+	}
+}
+
+// NetworkByName resolves a preset name ("pizdaint", "ethernet",
+// "sharedmem") for command-line flags.
+func NetworkByName(name string) (NetworkParams, error) {
+	switch name {
+	case "pizdaint":
+		return PizDaintNet(), nil
+	case "ethernet":
+		return CommodityEthernet(), nil
+	case "sharedmem":
+		return SharedMemory(), nil
+	}
+	return NetworkParams{}, fmt.Errorf("machine: unknown network %q (want pizdaint, ethernet or sharedmem)", name)
+}
+
+// timed is the event-clock transport: counting's delivery and
+// accounting, plus a per-rank logical clock advanced by sends, receives
+// and compute. The model is congestion-free in the network core:
+//
+//   - a send occupies the sender's injection port for α seconds and the
+//     message departs at the sender's new clock;
+//   - a receive serializes on the receiver's ingress port: the receiver
+//     advances to max(own clock, departure) + β·words;
+//   - compute advances the rank's clock by γ·flops;
+//   - a machine barrier max-propagates all clocks (every rank leaves at
+//     the latest arrival).
+//
+// Dependencies therefore chain exactly along messages, so the final
+// maximum clock is the critical-path runtime of the executed schedule —
+// tree collectives pay their depth in α and β without any collective-
+// aware bookkeeping.
+type timed struct {
+	*counting
+	net   NetworkParams
+	clock []float64
+}
+
+func newTimed(p int, net NetworkParams) *timed {
+	return &timed{
+		counting: newCounting(p, true),
+		net:      net,
+		clock:    make([]float64, p),
+	}
+}
+
+// Send implements Transport: the sender pays α and the message departs
+// at the sender's advanced clock. Self-sends are free, mirroring the
+// counting transport's accounting.
+func (t *timed) Send(src, dst, tag int, data []float64, owned bool) {
+	if src != dst {
+		t.clock[src] += t.net.Alpha
+	}
+	t.post(src, dst, tag, data, owned, t.clock[src])
+}
+
+// Recv implements Transport: the receiver waits for the message's
+// departure time, then pays β per word on its ingress port.
+func (t *timed) Recv(dst, src, tag int) []float64 {
+	e := t.take(dst, src, tag)
+	if src != dst {
+		c := t.clock[dst]
+		if e.at > c {
+			c = e.at
+		}
+		t.clock[dst] = c + t.net.Beta*float64(len(e.data))
+	}
+	return e.data
+}
+
+// Compute implements Transport.
+func (t *timed) Compute(rank int, flops int64) {
+	t.counting.Compute(rank, flops)
+	t.clock[rank] += t.net.Gamma * float64(flops)
+}
+
+// BarrierSync implements Transport: congestion-free max-propagation —
+// every rank leaves the barrier at the latest arrival time. The machine
+// calls it with every rank parked, so the clocks are quiescent.
+func (t *timed) BarrierSync() {
+	var max float64
+	for _, c := range t.clock {
+		if c > max {
+			max = c
+		}
+	}
+	for i := range t.clock {
+		t.clock[i] = max
+	}
+}
+
+// Reset implements Transport.
+func (t *timed) Reset() {
+	t.counting.Reset()
+	for i := range t.clock {
+		t.clock[i] = 0
+	}
+}
+
+// Network implements Transport.
+func (t *timed) Network() (NetworkParams, bool) { return t.net, true }
+
+// Times implements Transport.
+func (t *timed) Times() []float64 { return t.clock }

@@ -1,0 +1,220 @@
+package machine
+
+import "sync"
+
+// Transport is the wire beneath a Machine: it delivers tagged payloads
+// between ranks and accounts for their cost. Two backends exist — the
+// counting transport (exact word/message accounting, the mpiP stand-in
+// of §2.3) and the timed transport (an α-β-γ event-clock model that
+// additionally predicts runtime). Both share the keyed-mailbox delivery
+// machinery, so any algorithm written against Rank runs unchanged on
+// either.
+type Transport interface {
+	// P returns the number of ranks the transport connects.
+	P() int
+	// Send delivers data from src to dst, matched at the receiver on
+	// (src, tag). When owned, the transport takes ownership of data
+	// (zero-copy); otherwise it copies before returning. Send never
+	// blocks (eager unbounded buffering).
+	Send(src, dst, tag int, data []float64, owned bool)
+	// Recv blocks until a message from src with the given tag arrives
+	// at dst and returns its payload. Same-(src, tag) messages are
+	// delivered in send order. The caller owns the returned buffer and
+	// may hand it back with Release once dead.
+	Recv(dst, src, tag int) []float64
+	// Compute charges flops floating-point operations to rank.
+	Compute(rank int, flops int64)
+	// BarrierSync runs once per completed machine barrier, with every
+	// rank parked; timed transports propagate clocks here.
+	BarrierSync()
+	// Reset clears counters and clocks at the start of a Run.
+	Reset()
+	// Counters returns rank's accumulated traffic.
+	Counters(rank int) Counters
+	// Network returns the cost parameters and true for timed transports.
+	Network() (NetworkParams, bool)
+	// Times returns the per-rank logical clocks in seconds, nil when the
+	// transport is untimed.
+	Times() []float64
+}
+
+// mailKey identifies one receive queue: messages are matched MPI-style
+// on (source, tag).
+type mailKey struct{ src, tag int }
+
+// envelope is one in-flight message. at is its arrival time at the
+// receiver (zero on the counting transport).
+type envelope struct {
+	data []float64
+	at   float64
+}
+
+// mailQueue is the FIFO of pending messages for one (src, tag) key. Its
+// cond shares the owning postOffice's mutex; head avoids reslicing the
+// front on every pop.
+type mailQueue struct {
+	cond *sync.Cond
+	msgs []envelope
+	head int
+}
+
+func (q *mailQueue) push(e envelope) {
+	q.msgs = append(q.msgs, e)
+	q.cond.Broadcast()
+}
+
+// pop removes the oldest message; the caller must hold the office mutex
+// and have checked q.empty() is false. Once the dead prefix dominates,
+// the live tail compacts to the front so a queue that never fully
+// drains (fast sender, lagging receiver) stays O(pending), not
+// O(ever sent).
+func (q *mailQueue) pop() envelope {
+	e := q.msgs[q.head]
+	q.msgs[q.head] = envelope{}
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	} else if q.head > len(q.msgs)/2 {
+		n := copy(q.msgs, q.msgs[q.head:])
+		for i := n; i < len(q.msgs); i++ {
+			q.msgs[i] = envelope{}
+		}
+		q.msgs = q.msgs[:n]
+		q.head = 0
+	}
+	return e
+}
+
+func (q *mailQueue) empty() bool { return q.head == len(q.msgs) }
+
+// postOffice is one rank's set of keyed mailboxes. Replacing the single
+// linear queue of the original machine, lookups are O(1) in the number
+// of pending messages and receivers of different keys never contend on
+// a scan.
+type postOffice struct {
+	mu    sync.Mutex
+	slots map[mailKey]*mailQueue
+}
+
+func newPostOffice() *postOffice {
+	return &postOffice{slots: make(map[mailKey]*mailQueue)}
+}
+
+// slot returns (creating if needed) the queue for k; callers hold mu.
+func (po *postOffice) slot(k mailKey) *mailQueue {
+	q := po.slots[k]
+	if q == nil {
+		q = &mailQueue{cond: sync.NewCond(&po.mu)}
+		po.slots[k] = q
+	}
+	return q
+}
+
+// counting is the exact-accounting transport: it moves payloads through
+// keyed mailboxes and counts per-rank words, messages and flops. With
+// pooled set, internal copies are drawn from the shared buffer pool.
+type counting struct {
+	p      int
+	office []*postOffice
+	count  []Counters
+	pooled bool
+}
+
+func newCounting(p int, pooled bool) *counting {
+	t := &counting{
+		p:      p,
+		office: make([]*postOffice, p),
+		count:  make([]Counters, p),
+		pooled: pooled,
+	}
+	for i := range t.office {
+		t.office[i] = newPostOffice()
+	}
+	return t
+}
+
+// P implements Transport.
+func (t *counting) P() int { return t.p }
+
+// post delivers a message stamped with arrival time at; it implements
+// both transports' sends. Each rank mutates only its own Counters entry,
+// so the counters need no lock.
+func (t *counting) post(src, dst, tag int, data []float64, owned bool, at float64) {
+	if !owned {
+		var cp []float64
+		if t.pooled {
+			cp = Loan(len(data))
+		} else {
+			cp = make([]float64, len(data))
+		}
+		copy(cp, data)
+		data = cp
+	}
+	if dst != src {
+		t.count[src].SentWords += int64(len(data))
+		t.count[src].SentMsgs++
+	}
+	po := t.office[dst]
+	po.mu.Lock()
+	po.slot(mailKey{src: src, tag: tag}).push(envelope{data: data, at: at})
+	po.mu.Unlock()
+}
+
+// take blocks until a message under (src, tag) arrives at dst.
+func (t *counting) take(dst, src, tag int) envelope {
+	po := t.office[dst]
+	po.mu.Lock()
+	q := po.slot(mailKey{src: src, tag: tag})
+	for q.empty() {
+		q.cond.Wait()
+	}
+	e := q.pop()
+	po.mu.Unlock()
+	if src != dst {
+		t.count[dst].RecvWords += int64(len(e.data))
+		t.count[dst].RecvMsgs++
+	}
+	return e
+}
+
+// Send implements Transport.
+func (t *counting) Send(src, dst, tag int, data []float64, owned bool) {
+	t.post(src, dst, tag, data, owned, 0)
+}
+
+// Recv implements Transport.
+func (t *counting) Recv(dst, src, tag int) []float64 {
+	return t.take(dst, src, tag).data
+}
+
+// Compute implements Transport.
+func (t *counting) Compute(rank int, flops int64) {
+	t.count[rank].Flops += flops
+}
+
+// BarrierSync implements Transport: counting has no clocks to propagate.
+func (t *counting) BarrierSync() {}
+
+// Reset implements Transport. Besides the counters, it drains every
+// mailbox: a previous Run that failed mid-schedule may have left
+// undelivered envelopes behind, which must not leak into the next Run.
+func (t *counting) Reset() {
+	for i := range t.count {
+		t.count[i] = Counters{}
+	}
+	for _, po := range t.office {
+		po.mu.Lock()
+		po.slots = make(map[mailKey]*mailQueue)
+		po.mu.Unlock()
+	}
+}
+
+// Counters implements Transport.
+func (t *counting) Counters(rank int) Counters { return t.count[rank] }
+
+// Network implements Transport.
+func (t *counting) Network() (NetworkParams, bool) { return NetworkParams{}, false }
+
+// Times implements Transport.
+func (t *counting) Times() []float64 { return nil }

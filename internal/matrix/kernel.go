@@ -11,6 +11,14 @@ const (
 	tileK = 64
 )
 
+// MulFlops returns the floating-point operation count of one Mul call on
+// an m×k by k×n problem: 2mnk (one multiply and one add per elementary
+// product) — the quantity the distributed algorithms register with
+// Rank.Compute so the timed transport can charge γ·flops.
+func MulFlops(m, n, k int) int64 {
+	return 2 * int64(m) * int64(n) * int64(k)
+}
+
 // Mul computes C += A·B with the blocked kernel. A is m×k, B is k×n and C
 // is m×n; any shape mismatch panics. Mul is the local compute kernel used
 // by every distributed algorithm (the stand-in for the paper's MKL dgemm).

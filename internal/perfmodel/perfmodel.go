@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"cosma/internal/algo"
+	"cosma/internal/machine"
 )
 
 // Machine holds the per-core performance constants. The defaults are
@@ -24,16 +25,24 @@ type Machine struct {
 // PizDaint returns the default machine constants: 36.8 Gflop/s per core
 // (18-core 2.3 GHz Broadwell socket with AVX2 FMA ≈ 36.8 Gflop/s/core),
 // 0.29 GB/s sustained injection bandwidth per core (10.5 GB/s Aries
-// injection per node / 36 cores) and ~1.5 µs latency.
+// injection per node / 36 cores) and ~1.5 µs latency. The constants are
+// the single machine.PizDaintNet definition, so the timed transport and
+// the figure-level models can never drift apart.
 // Overlap defaults to false: cross-algorithm comparisons charge
 // communication and computation serially, which is conservative and
 // identical for every algorithm; Figure 12 quantifies the overlap gain
 // (§7.3) separately.
 func PizDaint() Machine {
+	return FromNetwork(machine.PizDaintNet())
+}
+
+// FromNetwork converts the timed transport's α-β-γ parameters into the
+// rate-based form this package evaluates models with.
+func FromNetwork(net machine.NetworkParams) Machine {
 	return Machine{
-		PeakFlops: 36.8e9,
-		Bandwidth: 3.6e7, // words/s ≈ 0.29 GB/s per core
-		Latency:   1.5e-6,
+		PeakFlops: 1 / net.Gamma,
+		Bandwidth: 1 / net.Beta,
+		Latency:   net.Alpha,
 	}
 }
 

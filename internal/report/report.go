@@ -116,3 +116,22 @@ func (t *Table) CSV() string {
 
 // Rows returns the number of data rows added so far.
 func (t *Table) Rows() int { return len(t.rows) }
+
+// Seconds renders a duration in seconds with an adaptive unit, for the
+// PredictedTime/CritPathTime columns of the timed-transport tables.
+func Seconds(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av < 1e-3:
+		return fmt.Sprintf("%.2fµs", v*1e6)
+	case av < 1:
+		return fmt.Sprintf("%.3fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", v)
+	}
+}
