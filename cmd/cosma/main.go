@@ -1,17 +1,22 @@
-// Command cosma multiplies two random matrices with COSMA on the
-// simulated distributed machine and reports the decomposition and the
-// measured communication against the Theorem 2 lower bound.
+// Command cosma multiplies two random matrices on the simulated
+// distributed machine through the engine API and reports the
+// decomposition and the measured communication against the Theorem 2
+// lower bound.
 //
 // Usage:
 //
-//	cosma -m 512 -n 512 -k 512 -p 16 -S 1048576 [-algo cosma|summa|2.5d|carma|all]
+//	cosma -m 512 -n 512 -k 512 -p 16 -S 1048576 [-delta 0.03]
+//	      [-algo cosma|summa|2.5d|carma|cannon|all]
 //	      [-network pizdaint|ethernet|sharedmem]
 //
-// With -network the run executes on the timed α-β-γ transport and the
-// table gains predicted and critical-path runtime columns.
+// The algorithm is resolved through the name-keyed registry (aliases
+// like "scalapack" and "ctf" work too); -algo list prints it. With
+// -network the run executes on the timed α-β-γ transport and the table
+// gains predicted and critical-path runtime columns.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,57 +35,78 @@ func main() {
 	k := flag.Int("k", 512, "columns of A / rows of B")
 	p := flag.Int("p", 16, "number of simulated processors")
 	s := flag.Int("S", 1<<20, "local memory per processor in words")
-	algoName := flag.String("algo", "cosma", "algorithm: cosma, summa, 2.5d, carma or all")
+	delta := flag.Float64("delta", 0, "grid-fitting idle tolerance δ (0 = paper default)")
+	algoName := flag.String("algo", "cosma", "algorithm registry name or alias, \"all\", or \"list\"")
 	seed := flag.Int64("seed", 1, "random seed for the input matrices")
 	netName := flag.String("network", "", "timed α-β-γ preset: pizdaint, ethernet or sharedmem (empty counts only)")
 	flag.Parse()
 
-	var network *cosma.NetworkParams
+	if *algoName == "list" {
+		for _, info := range cosma.AlgorithmInfos() {
+			alias := ""
+			if len(info.Aliases) > 0 {
+				alias = " (aliases: " + strings.Join(info.Aliases, ", ") + ")"
+			}
+			fmt.Printf("  %-8s %s%s\n", info.Name, info.Summary, alias)
+		}
+		return
+	}
+
+	opts := []cosma.Option{
+		cosma.WithProcs(*p), cosma.WithMemory(*s), cosma.WithDelta(*delta),
+	}
 	if *netName != "" {
 		net, err := cosma.NetworkByName(*netName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		network = &net
+		opts = append(opts, cosma.WithNetwork(net))
 	}
 
+	names := []string{*algoName}
+	if *algoName == "all" {
+		names = cosma.AlgorithmNames()
+	}
+
+	ctx := context.Background()
 	a := cosma.RandomMatrix(*m, *k, *seed)
 	b := cosma.RandomMatrix(*k, *n, *seed+1)
 
-	plan := cosma.Plan(*m, *n, *k, *p, *s, 0)
-	fmt.Printf("plan: %v\n", plan)
 	fmt.Printf("Theorem 2 lower bound: %.0f words/rank\n\n",
 		cosma.ParallelLowerBound(*m, *n, *k, *p, *s))
 
 	headers := []string{"algorithm", "grid", "ranks used", "avg recv words/rank", "max recv", "max msgs", "model words/rank"}
-	if network != nil {
+	timed := *netName != ""
+	if timed {
 		headers = append(headers, "predicted", "critical path")
 	}
 	t := report.NewTable("measured communication", headers...)
-	for _, r := range cosma.AlgorithmsNet(network) {
-		name := strings.ToLower(r.Name())
-		match := *algoName == "all" ||
-			(*algoName == "cosma" && strings.Contains(name, "cosma")) ||
-			(*algoName == "summa" && strings.Contains(name, "summa")) ||
-			(*algoName == "2.5d" && strings.Contains(name, "2.5d")) ||
-			(*algoName == "carma" && strings.Contains(name, "carma"))
-		if !match {
+	for _, name := range names {
+		eng, err := cosma.NewEngine(append(opts, cosma.WithAlgorithm(name))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := eng.Plan(ctx, *m, *n, *k)
+		if err != nil {
+			log.Printf("%s: %v", name, err)
 			continue
 		}
-		_, rep, err := r.Run(a, b, *p, *s)
+		fmt.Printf("%s plan: %v\n", plan.Algorithm(), plan)
+		_, rep, err := eng.Exec(ctx, a, b)
 		if err != nil {
-			log.Printf("%s: %v", r.Name(), err)
+			log.Printf("%s: %v", name, err)
 			continue
 		}
 		row := []interface{}{rep.Name, rep.Grid, rep.Used, rep.AvgRecv, rep.MaxRecv, rep.MaxMsgs, rep.Model.AvgRecv}
-		if network != nil {
+		if timed {
 			row = append(row, report.Seconds(rep.PredictedTime), report.Seconds(rep.CritPathTime))
 		}
 		t.AddRow(row...)
 	}
 	if t.Rows() == 0 {
-		log.Print("no algorithm matched or ran; see -algo")
+		log.Print("no algorithm matched or ran; see -algo list")
 		os.Exit(1)
 	}
+	fmt.Println()
 	fmt.Print(t.String())
 }

@@ -5,17 +5,20 @@
 //	experiments [-network pizdaint|ethernet|sharedmem]
 //	            [table1] [fig3] [seqio] [fig5] [table3] [fig6] [fig7]
 //	            [fig8] [fig9] [fig10] [fig11] [fig12] [fig13] [table4]
-//	            [unfavorable] [validate] [timevolume]
+//	            [unfavorable] [validate] [timevolume] [algos]
 //
 // The -network flag selects the α-β-γ preset the timed-transport
-// experiments (timevolume) execute on.
+// experiments (timevolume) execute on. The comparison set is drawn from
+// the name-keyed algorithm registry; "algos" lists it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
+	"cosma/internal/algo"
 	"cosma/internal/experiments"
 	"cosma/internal/machine"
 	"cosma/internal/report"
@@ -36,7 +39,7 @@ func main() {
 		"table1", "fig3", "seqio", "fig5", "table3", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table4",
 		"unfavorable", "validate", "iolatency", "delta", "step",
-		"timevolume",
+		"timevolume", "algos",
 	}
 	want := flag.Args()
 	if len(want) == 0 {
@@ -119,6 +122,12 @@ func run(name string, network machine.NetworkParams) {
 		print(experiments.StepAblation())
 	case "timevolume":
 		print(experiments.TimeVsVolume(network))
+	case "algos":
+		t := report.NewTable("registered algorithms", "name", "aliases", "in comparison set", "summary")
+		for _, s := range algo.Specs() {
+			t.AddRow(s.Name, strings.Join(s.Aliases, ", "), s.Comparison, s.Summary)
+		}
+		print(t)
 	default:
 		_ = shapes // exhaustively handled above
 	}

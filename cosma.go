@@ -5,26 +5,33 @@
 // and a simulated distributed machine on which all of them execute with
 // exact communication accounting.
 //
-// Quick start:
+// The primary API is the Engine, which splits a multiplication into a
+// cached planning phase (grid fitting, §6.3/§7.1 — independent of the
+// matrix values) and a cheap execution phase:
 //
+//	eng, _ := cosma.NewEngine(cosma.WithProcs(16), cosma.WithMemory(1<<20))
 //	a := cosma.RandomMatrix(512, 512, 1)
 //	b := cosma.RandomMatrix(512, 512, 2)
-//	c, rep, err := cosma.Multiply(a, b, cosma.Options{Procs: 16, Memory: 1 << 20})
+//	c, rep, err := eng.Exec(context.Background(), a, b)
 //
-// The returned report carries the measured per-rank communication volume,
-// which sits within the √S/(√(S+1)−1) factor of the Theorem 2 lower bound
-// (ParallelLowerBound).
+// Repeated same-shape multiplications reuse the cached plan and the
+// engine's pooled executors (pre-built machines and per-rank buffers),
+// so they pay only the execution cost. The one-shot Multiply remains as
+// a deprecated shim.
+//
+// The returned report carries the measured per-rank communication
+// volume, which sits within the √S/(√(S+1)−1) factor of the Theorem 2
+// lower bound (ParallelLowerBound).
 package cosma
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 
 	"cosma/internal/algo"
-	"cosma/internal/baselines"
+	_ "cosma/internal/baselines" // registers SUMMA, 2.5D, CARMA and Cannon
 	"cosma/internal/bound"
 	"cosma/internal/core"
-	"cosma/internal/grid"
 	"cosma/internal/machine"
 	"cosma/internal/matrix"
 	"cosma/internal/seq"
@@ -41,8 +48,17 @@ type Report = algo.Report
 // Model is an algorithm's analytic communication/computation prediction.
 type Model = algo.Model
 
-// Runner is a distributed MMM algorithm (COSMA or a baseline).
+// Runner is a distributed MMM algorithm (COSMA or a baseline): a planner
+// plus the legacy one-shot Run.
 type Runner = algo.Runner
+
+// UnboundedMemory is the per-rank memory in words treated as "no limit"
+// by option normalization (the schedule never tiles against it).
+const UnboundedMemory = 1 << 40
+
+// DefaultDelta is the default grid-fitting idle-rank tolerance δ of
+// §7.1 — the value the paper's Piz Daint experiments use.
+const DefaultDelta = core.DefaultDelta
 
 // NetworkParams are the α-β-γ constants of the timed machine model: α
 // seconds of latency per message, β seconds per 8-byte word, γ seconds
@@ -80,15 +96,19 @@ func RandomMatrix(r, c int, seed int64) *Matrix {
 	return matrix.Random(r, c, rand.New(rand.NewSource(seed)))
 }
 
-// Options configure a distributed multiplication.
+// Options configure a one-shot distributed multiplication.
+//
+// Deprecated: new code should build an Engine with the equivalent
+// functional options (WithProcs, WithMemory, WithDelta, WithNetwork),
+// which adds plan caching, executor reuse, batching and cancellation.
 type Options struct {
 	// Procs is the number of simulated processors (p). Zero means 1.
 	Procs int
 	// Memory is the local memory per processor in words (S). Zero means
-	// unbounded (2^40).
+	// unbounded (UnboundedMemory).
 	Memory int
 	// Delta is the grid-fitting idle-rank tolerance δ of §7.1; zero means
-	// the paper's default 0.03.
+	// the paper's default DefaultDelta.
 	Delta float64
 	// Network, when set, executes on the timed α-β-γ transport and fills
 	// the report's PredictedTime/CritPathTime; nil uses the counting
@@ -96,23 +116,30 @@ type Options struct {
 	Network *NetworkParams
 }
 
-func (o Options) normalize() Options {
-	if o.Procs == 0 {
-		o.Procs = 1
-	}
-	if o.Memory == 0 {
-		o.Memory = 1 << 40
-	}
-	return o
-}
-
 // Multiply computes C = A·B with COSMA on the simulated distributed
 // machine and reports the measured communication (and, when
 // Options.Network is set, the predicted runtime).
+//
+// Deprecated: Multiply re-plans and re-allocates everything on every
+// call. Build an Engine once and use Engine.Exec, which caches plans
+// and reuses executors across calls.
 func Multiply(a, b *Matrix, opts Options) (*Matrix, *Report, error) {
-	opts = opts.normalize()
-	c := &core.COSMA{Delta: opts.Delta, Network: opts.Network}
-	return c.Run(a, b, opts.Procs, opts.Memory)
+	eng, err := NewEngine(engineOptions(opts)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng.Exec(context.Background(), a, b)
+}
+
+// engineOptions translates legacy Options into the engine's functional
+// options, so the deprecated shims and the engine share one
+// normalization path.
+func engineOptions(opts Options) []Option {
+	eopts := []Option{WithProcs(opts.Procs), WithMemory(opts.Memory), WithDelta(opts.Delta)}
+	if opts.Network != nil {
+		eopts = append(eopts, WithNetwork(*opts.Network))
+	}
+	return eopts
 }
 
 // PredictTime returns COSMA's analytic end-to-end runtime in seconds for
@@ -120,12 +147,21 @@ func Multiply(a, b *Matrix, opts Options) (*Matrix, *Report, error) {
 // under the given network: the α-β-γ evaluation of the busiest rank's
 // modeled messages, received words and flops. It evaluates at any scale,
 // including the paper's 18,432-core runs, without executing anything.
-// The grid is fitted with the default idle tolerance (DefaultDelta); a
-// Multiply with a non-default Options.Delta may fit a different grid and
-// report a different PredictedTime.
+//
+// The grid is fitted through the same engine path as planning, with the
+// default idle tolerance DefaultDelta; configure an Engine with
+// WithDelta and use Engine.PredictTime when a non-default δ should
+// govern both the plan and the prediction.
 func PredictTime(m, n, k, p, s int, net NetworkParams) float64 {
-	mod := (&core.COSMA{}).Model(m, n, k, p, s)
-	return net.Time(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs)
+	eng, err := NewEngine(WithProcs(p), WithMemory(s), WithNetwork(net))
+	if err != nil {
+		panic(err) // unreachable: all inputs are normalized
+	}
+	t, err := eng.PredictTime(m, n, k)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // SequentialResult reports an executed near-I/O-optimal sequential
@@ -169,31 +205,21 @@ func ParallelLowerBound(m, n, k, p, s int) float64 {
 
 // Decomposition describes the schedule COSMA would use for a problem:
 // the processor grid and the local-domain geometry of §6.3.
-type Decomposition struct {
-	GridPm, GridPn, GridPk    int // the fitted processor grid (§7.1)
-	RanksUsed                 int
-	DomainM, DomainN, DomainK int // local domain extents per rank
-	StepSize                  int // outer products per communication round
-	Rounds                    int // number of rounds t (latency cost L)
-}
+type Decomposition = algo.Decomposition
 
-// Plan returns COSMA's decomposition for an m×n×k multiplication on p
-// processors with S words of memory each, without executing anything.
-func Plan(m, n, k, p, s int, delta float64) Decomposition {
-	if delta == 0 {
-		delta = core.DefaultDelta
+// Decompose returns COSMA's decomposition for an m×n×k multiplication
+// on p processors with S words of memory each, without executing
+// anything. A zero delta means DefaultDelta.
+//
+// Deprecated: this is the former cosma.Plan function, renamed when
+// Engine.Plan took the name. Engine.Plan returns the same geometry via
+// Plan.Decomposition along with an executable, cacheable schedule.
+func Decompose(m, n, k, p, s int, delta float64) Decomposition {
+	pl, err := (&core.COSMA{Delta: delta}).Plan(m, n, k, p, s)
+	if err != nil {
+		panic(err)
 	}
-	g := grid.Fit(m, n, k, p, s, delta)
-	dm, dn, dk := g.LocalDims(m, n, k)
-	d := bound.Domain{A: maxInt(dm, dn), B: dk}
-	step := d.StepSize(s)
-	return Decomposition{
-		GridPm: g.Pm, GridPn: g.Pn, GridPk: g.Pk,
-		RanksUsed: g.Ranks(),
-		DomainM:   dm, DomainN: dn, DomainK: dk,
-		StepSize: step,
-		Rounds:   (dk + step - 1) / step,
-	}
+	return pl.(algo.Decomposed).Decomposition()
 }
 
 // Algorithms returns COSMA and the three baselines in the paper's
@@ -204,25 +230,33 @@ func Algorithms() []Runner { return AlgorithmsNet(nil) }
 // AlgorithmsNet returns the comparison algorithms configured to execute
 // on the given network — nil for the counting transport, a NetworkParams
 // for the timed transport with runtime predictions in every report.
+// The set is drawn from the name-keyed algorithm registry; use
+// NewEngine(WithAlgorithm(name)) to construct any single registered
+// algorithm (including Cannon, which the comparison set excludes).
 func AlgorithmsNet(net *NetworkParams) []Runner {
-	return []Runner{
-		&core.COSMA{Network: net},
-		baselines.SUMMA{Network: net},
-		baselines.C25D{Network: net},
-		baselines.CARMA{Network: net},
-	}
+	return algo.Comparison(algo.Config{Network: net})
 }
 
-// String implements fmt.Stringer.
-func (d Decomposition) String() string {
-	return fmt.Sprintf("grid [%d×%d×%d] (%d ranks), domain [%d×%d×%d], %d rounds of %d",
-		d.GridPm, d.GridPn, d.GridPk, d.RanksUsed,
-		d.DomainM, d.DomainN, d.DomainK, d.Rounds, d.StepSize)
+// AlgorithmInfo describes one entry of the algorithm registry.
+type AlgorithmInfo struct {
+	Name    string   // canonical registry key, e.g. "cosma", "2.5d"
+	Aliases []string // alternative lookup keys, e.g. "ctf"
+	Summary string   // one-line description
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// AlgorithmNames returns the canonical names of every registered
+// algorithm ("cosma", "summa", "2.5d", "carma", "cannon") in the
+// paper's comparison order. Any of them (or their aliases) is a valid
+// WithAlgorithm argument.
+func AlgorithmNames() []string { return algo.Names() }
+
+// AlgorithmInfos returns name, aliases and a one-line summary for every
+// registered algorithm, for CLIs and docs.
+func AlgorithmInfos() []AlgorithmInfo {
+	specs := algo.Specs()
+	infos := make([]AlgorithmInfo, len(specs))
+	for i, s := range specs {
+		infos[i] = AlgorithmInfo{Name: s.Name, Aliases: s.Aliases, Summary: s.Summary}
 	}
-	return b
+	return infos
 }

@@ -1,6 +1,7 @@
 package cosma
 
 import (
+	"context"
 	"testing"
 )
 
@@ -60,7 +61,18 @@ func TestParallelLowerBoundExposed(t *testing.T) {
 }
 
 func TestPlanFigure5(t *testing.T) {
-	d := Plan(4096, 4096, 4096, 65, 1<<22, 0)
+	eng, err := NewEngine(WithProcs(65), WithMemory(1<<22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Plan(context.Background(), 4096, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := plan.Decomposition()
+	if !ok {
+		t.Fatal("COSMA plan must expose its decomposition")
+	}
 	if d.RanksUsed != 64 {
 		t.Fatalf("Plan used %d ranks, want 64: %v", d.RanksUsed, d)
 	}
@@ -69,6 +81,10 @@ func TestPlanFigure5(t *testing.T) {
 	}
 	if d.Rounds < 1 || d.StepSize < 1 {
 		t.Fatalf("degenerate rounds: %v", d)
+	}
+	// The deprecated Decompose shim must agree with the engine's plan.
+	if shim := Decompose(4096, 4096, 4096, 65, 1<<22, 0); shim != d {
+		t.Fatalf("Decompose %v disagrees with engine plan %v", shim, d)
 	}
 }
 

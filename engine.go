@@ -1,0 +1,323 @@
+package cosma
+
+import (
+	"context"
+	"fmt"
+
+	"cosma/internal/algo"
+	"cosma/internal/lru"
+)
+
+// Engine is the amortizing front door to the distributed multiplication
+// algorithms: it normalizes one option set (processors, memory, δ,
+// network, algorithm), owns an LRU cache of compiled plans keyed by the
+// problem shape under those options, and pools executors (pre-built
+// machines with reusable per-rank buffers) per plan. An Engine is safe
+// for concurrent use; every repeated same-shape multiplication pays
+// only the execution cost.
+type Engine struct {
+	cfg    engineConfig
+	runner algo.Runner
+
+	// mu guards the plan cache and its hit/miss accounting. Planning a
+	// missed shape happens under the lock too: fits are deterministic
+	// and cheap relative to execution, and this keeps each shape fitted
+	// exactly once no matter how many goroutines race to it.
+	mu     chanMutex
+	plans  *lru.Cache[planKey, *Plan]
+	hits   int64
+	misses int64
+}
+
+// chanMutex is a context-aware mutex: Plan holds it across a cache miss
+// (a grid fit), and a caller whose context dies while queued should
+// give up rather than park forever behind a large fit.
+type chanMutex chan struct{}
+
+func (m chanMutex) lock(ctx context.Context) error {
+	select {
+	case m <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (m chanMutex) unlock() { <-m }
+
+// planKey identifies one cached plan: the shape plus every normalized
+// option that influences fitting. Two engines with equal options cache
+// interchangeable plans; within one engine only the shape varies.
+type planKey struct {
+	algorithm string
+	m, n, k   int
+	p, s      int
+	delta     float64
+	net       NetworkParams // zero value when counting
+	timed     bool
+}
+
+type engineConfig struct {
+	procs     int
+	memory    int
+	delta     float64
+	network   *NetworkParams
+	algorithm string
+	cacheSize int
+	err       error // first option error, surfaced by NewEngine
+}
+
+// Option configures an Engine.
+type Option func(*engineConfig)
+
+// WithProcs sets the number of simulated processors p. Zero (the
+// default) means 1.
+func WithProcs(p int) Option {
+	return func(c *engineConfig) {
+		if p < 0 {
+			c.err = fmt.Errorf("cosma: procs %d must be ≥ 0", p)
+			return
+		}
+		c.procs = p
+	}
+}
+
+// WithMemory sets the local memory per processor in words (S). Zero
+// (the default) means UnboundedMemory.
+func WithMemory(words int) Option {
+	return func(c *engineConfig) {
+		if words < 0 {
+			c.err = fmt.Errorf("cosma: memory %d must be ≥ 0", words)
+			return
+		}
+		c.memory = words
+	}
+}
+
+// WithDelta sets the grid-fitting idle-rank tolerance δ of §7.1 in
+// [0, 1). Zero (the default) means DefaultDelta. The same δ governs
+// Plan, Exec and PredictTime, so the engine never describes two
+// different grids for one problem.
+func WithDelta(delta float64) Option {
+	return func(c *engineConfig) {
+		if delta < 0 || delta >= 1 {
+			c.err = fmt.Errorf("cosma: delta %v out of [0, 1)", delta)
+			return
+		}
+		c.delta = delta
+	}
+}
+
+// WithNetwork executes runs on the timed α-β-γ transport under net, so
+// every report carries PredictedTime and CritPathTime. Without it the
+// engine counts volumes only.
+func WithNetwork(net NetworkParams) Option {
+	return func(c *engineConfig) { c.network = &net }
+}
+
+// WithAlgorithm selects the multiplication algorithm by registry name
+// or alias — "cosma" (the default), "summa", "2.5d", "carma", "cannon";
+// see AlgorithmNames. Unknown names error at NewEngine.
+func WithAlgorithm(name string) Option {
+	return func(c *engineConfig) { c.algorithm = name }
+}
+
+// WithPlanCacheSize bounds the LRU plan cache to n distinct shapes
+// (default 64, minimum 1).
+func WithPlanCacheSize(n int) Option {
+	return func(c *engineConfig) {
+		if n < 1 {
+			c.err = fmt.Errorf("cosma: plan cache size %d must be ≥ 1", n)
+			return
+		}
+		c.cacheSize = n
+	}
+}
+
+// NewEngine builds an engine from functional options. The zero
+// configuration is a single-processor, unbounded-memory, counting
+// COSMA engine.
+func NewEngine(opts ...Option) (*Engine, error) {
+	cfg := engineConfig{algorithm: "cosma", cacheSize: 64}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	if cfg.procs == 0 {
+		cfg.procs = 1
+	}
+	if cfg.memory == 0 {
+		cfg.memory = UnboundedMemory
+	}
+	if cfg.delta == 0 {
+		cfg.delta = DefaultDelta
+	}
+	runner, err := algo.New(cfg.algorithm, algo.Config{Delta: cfg.delta, Network: cfg.network})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:    cfg,
+		runner: runner,
+		mu:     make(chanMutex, 1),
+		plans:  lru.New[planKey, *Plan](cfg.cacheSize),
+	}, nil
+}
+
+// Algorithm returns the display name of the engine's algorithm.
+func (e *Engine) Algorithm() string { return e.runner.Name() }
+
+// Procs returns the normalized processor count p.
+func (e *Engine) Procs() int { return e.cfg.procs }
+
+// Memory returns the normalized per-rank memory S in words.
+func (e *Engine) Memory() int { return e.cfg.memory }
+
+// Delta returns the normalized grid-fitting tolerance δ.
+func (e *Engine) Delta() float64 { return e.cfg.delta }
+
+// Network returns the engine's α-β-γ parameters and true when runs
+// execute on the timed transport.
+func (e *Engine) Network() (NetworkParams, bool) {
+	if e.cfg.network == nil {
+		return NetworkParams{}, false
+	}
+	return *e.cfg.network, true
+}
+
+func (e *Engine) key(m, n, k int) planKey {
+	key := planKey{
+		algorithm: e.cfg.algorithm,
+		m:         m, n: n, k: k,
+		p: e.cfg.procs, s: e.cfg.memory,
+		delta: e.cfg.delta,
+	}
+	if e.cfg.network != nil {
+		key.net, key.timed = *e.cfg.network, true
+	}
+	return key
+}
+
+// Plan returns the engine's immutable compiled schedule for an m×k by
+// k×n multiplication, fitting the grid at most once per shape: repeat
+// calls (and Exec / MultiplyBatch on the same shape) hit the LRU plan
+// cache and perform zero grid-fitting work.
+func (e *Engine) Plan(ctx context.Context, m, n, k int) (*Plan, error) {
+	if m < 1 || n < 1 || k < 1 {
+		return nil, fmt.Errorf("cosma: invalid dimensions %d×%d×%d", m, n, k)
+	}
+	key := e.key(m, n, k)
+	if err := e.mu.lock(ctx); err != nil {
+		return nil, err
+	}
+	defer e.mu.unlock()
+	if p, ok := e.plans.Get(key); ok {
+		e.hits++
+		return p, nil
+	}
+	inner, err := e.runner.Plan(m, n, k, e.cfg.procs, e.cfg.memory)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{inner: inner, network: e.cfg.network}
+	e.plans.Add(key, p)
+	e.misses++
+	return p, nil
+}
+
+// Exec multiplies a·b under the engine's options: it plans (or reuses
+// the cached plan for) the shape, borrows a pooled executor, runs, and
+// returns the product with its report. Cancelling ctx aborts the run at
+// the next communication-round boundary — ranks parked in Recv or
+// Barrier are woken — and Exec returns ctx.Err().
+func (e *Engine) Exec(ctx context.Context, a, b *Matrix) (*Matrix, *Report, error) {
+	if a.Cols != b.Rows {
+		return nil, nil, fmt.Errorf("cosma: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	plan, err := e.Plan(ctx, a.Rows, b.Cols, a.Cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan.exec(ctx, a, b)
+}
+
+// Pair is one multiplication of a batch.
+type Pair struct {
+	A, B *Matrix
+}
+
+// MultiplyBatch multiplies every pair under one shared plan — the
+// dominant production pattern of repeated same-shape multiplications —
+// reusing a single executor (machine and per-rank buffers) across the
+// whole batch. All pairs must have the shape of the first. On error
+// (including cancellation) it returns the results completed so far,
+// with nil entries for the rest.
+func (e *Engine) MultiplyBatch(ctx context.Context, pairs []Pair) ([]*Matrix, []*Report, error) {
+	if len(pairs) == 0 {
+		return nil, nil, nil
+	}
+	first := pairs[0]
+	if first.A.Cols != first.B.Rows {
+		return nil, nil, fmt.Errorf("cosma: A is %d×%d but B is %d×%d",
+			first.A.Rows, first.A.Cols, first.B.Rows, first.B.Cols)
+	}
+	m, n, k := first.A.Rows, first.B.Cols, first.A.Cols
+	for i, p := range pairs {
+		if p.A.Rows != m || p.A.Cols != k || p.B.Rows != k || p.B.Cols != n {
+			return nil, nil, fmt.Errorf("cosma: batch pair %d is %d×%d·%d×%d, want %d×%d·%d×%d",
+				i, p.A.Rows, p.A.Cols, p.B.Rows, p.B.Cols, m, k, k, n)
+		}
+	}
+	plan, err := e.Plan(ctx, m, n, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	exec := plan.acquire()
+	defer plan.release(exec)
+	outs := make([]*Matrix, len(pairs))
+	reps := make([]*Report, len(pairs))
+	for i, p := range pairs {
+		c, rep, err := exec.Exec(ctx, p.A, p.B)
+		if err != nil {
+			return outs, reps, fmt.Errorf("cosma: batch pair %d: %w", i, err)
+		}
+		outs[i], reps[i] = c, rep
+	}
+	return outs, reps, nil
+}
+
+// PredictTime returns the engine's analytic end-to-end runtime in
+// seconds for an m×k by k×n multiplication on its network: the α-β-γ
+// evaluation of the plan's model. It shares the plan cache — and
+// therefore the exact grid — with Plan and Exec, and requires
+// WithNetwork.
+func (e *Engine) PredictTime(m, n, k int) (float64, error) {
+	if e.cfg.network == nil {
+		return 0, fmt.Errorf("cosma: PredictTime needs a network; configure the engine with WithNetwork")
+	}
+	plan, err := e.Plan(context.Background(), m, n, k)
+	if err != nil {
+		return 0, err
+	}
+	mod := plan.Model()
+	return e.cfg.network.Time(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs), nil
+}
+
+// CacheStats is a snapshot of the engine's plan-cache accounting.
+type CacheStats struct {
+	Hits   int64 // Plan calls served from the cache
+	Misses int64 // Plan calls that fitted a new grid
+	Len    int   // distinct shapes currently cached
+	Cap    int   // cache capacity
+}
+
+// CacheStats reports plan-cache hits, misses and occupancy.
+func (e *Engine) CacheStats() CacheStats {
+	if err := e.mu.lock(context.Background()); err != nil {
+		return CacheStats{}
+	}
+	defer e.mu.unlock()
+	return CacheStats{Hits: e.hits, Misses: e.misses, Len: e.plans.Len(), Cap: e.plans.Cap()}
+}

@@ -1,0 +1,97 @@
+package cosma
+
+import (
+	"context"
+	"testing"
+)
+
+// The engine's amortization claim, measured: a warm plan plus a reused
+// executor must beat the one-shot Multiply on allocations, because grid
+// fitting, machine construction and the per-rank buffers are all paid
+// once instead of per call. The benchmarks record the numbers (run with
+// -benchmem); the test below is the CI guard.
+
+const (
+	benchDim   = 256
+	benchProcs = 16
+	benchMem   = 1 << 14
+)
+
+// BenchmarkEngineExecWarm measures Engine.Exec at steady state: the
+// plan is cached and the executor (machine + per-rank scratch) reused.
+func BenchmarkEngineExecWarm(b *testing.B) {
+	eng, err := NewEngine(WithProcs(benchProcs), WithMemory(benchMem))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := RandomMatrix(benchDim, benchDim, 1)
+	bb := RandomMatrix(benchDim, benchDim, 2)
+	ctx := context.Background()
+	if _, _, err := eng.Exec(ctx, a, bb); err != nil { // warm the plan + executor
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Exec(ctx, a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiplyOneShot measures the deprecated one-shot path, which
+// re-plans and rebuilds the machine on every call.
+func BenchmarkMultiplyOneShot(b *testing.B) {
+	a := RandomMatrix(benchDim, benchDim, 1)
+	bb := RandomMatrix(benchDim, benchDim, 2)
+	opts := Options{Procs: benchProcs, Memory: benchMem}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Multiply(a, bb, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWarmExecAllocatesLessThanOneShot is the benchmark guard of the
+// engine acceptance criterion: on 256³ with p = 16, Exec on a warm plan
+// with a reused executor must allocate strictly less per call than the
+// one-shot Multiply.
+func TestWarmExecAllocatesLessThanOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard runs full 256³ multiplications")
+	}
+	eng, err := NewEngine(WithProcs(benchProcs), WithMemory(benchMem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandomMatrix(benchDim, benchDim, 1)
+	b := RandomMatrix(benchDim, benchDim, 2)
+	ctx := context.Background()
+	plan, err := eng.Plan(ctx, benchDim, benchDim, benchDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := plan.NewExecutor()
+	if _, _, err := exec.Exec(ctx, a, b); err != nil { // populate the scratch arena
+		t.Fatal(err)
+	}
+
+	warm := testing.AllocsPerRun(3, func() {
+		if _, _, err := exec.Exec(ctx, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	oneShot := testing.AllocsPerRun(3, func() {
+		if _, _, err := Multiply(a, b, Options{Procs: benchProcs, Memory: benchMem}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if warm >= oneShot {
+		t.Fatalf("warm Exec allocates %.0f allocs/op, one-shot Multiply %.0f — want strictly fewer",
+			warm, oneShot)
+	}
+	t.Logf("allocs/op: warm Exec %.0f vs one-shot Multiply %.0f (%.1f%% of one-shot)",
+		warm, oneShot, 100*warm/oneShot)
+}

@@ -28,7 +28,7 @@ func main() {
 	t2 := report.NewTable("§9: adversarial p — one core more",
 		"p", "plan", "ranks used")
 	for _, p := range []int{9216, 9217} {
-		plan := cosma.Plan(16384, 16384, 16384, p, 1<<27, 0)
+		plan := cosma.Decompose(16384, 16384, 16384, p, 1<<27, 0)
 		t2.AddRow(p, plan.String(), plan.RanksUsed)
 	}
 	fmt.Println(t2.String())

@@ -1,0 +1,102 @@
+// Serving: the engine as a long-lived multiplication service. A mixed
+// stream of request shapes flows through one shared Engine from several
+// workers; same-shape batches go through MultiplyBatch so every request
+// after the first reuses the cached plan and a pooled executor. The
+// run ends with the plan-cache hit statistics and a per-shape timing
+// comparison of the cold (plan + execute) and warm (execute only)
+// paths.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"cosma"
+)
+
+func main() {
+	ctx := context.Background()
+	eng, err := cosma.NewEngine(cosma.WithProcs(16), cosma.WithMemory(1<<14))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The service's request mix: a few recurring shapes, as in a
+	// CARMA-style recursive workload where the same subproblem shape
+	// repeats across the tree.
+	shapes := []struct{ m, n, k int }{
+		{256, 256, 256},
+		{128, 128, 512}, // inner-product-ish
+		{384, 96, 96},   // tall and skinny
+	}
+
+	// Batched path: each shape's requests share one plan and one
+	// executor.
+	const batchSize = 8
+	for _, sh := range shapes {
+		pairs := make([]cosma.Pair, batchSize)
+		for i := range pairs {
+			pairs[i] = cosma.Pair{
+				A: cosma.RandomMatrix(sh.m, sh.k, int64(i+1)),
+				B: cosma.RandomMatrix(sh.k, sh.n, int64(i+100)),
+			}
+		}
+		start := time.Now()
+		_, reps, err := eng.MultiplyBatch(ctx, pairs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %dx (%d×%d·%d×%d) on grid %-9s  %8.1fms total, %.0f words max/rank\n",
+			len(pairs), sh.m, sh.k, sh.k, sh.n, reps[0].Grid,
+			float64(time.Since(start).Microseconds())/1e3, float64(reps[0].MaxVolume))
+	}
+
+	// Concurrent path: 8 workers hammer the shared engine with the same
+	// shape mix; every plan is already cached, so all of this is warm.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := shapes[w%len(shapes)]
+			a := cosma.RandomMatrix(sh.m, sh.k, int64(w))
+			b := cosma.RandomMatrix(sh.k, sh.n, int64(w+50))
+			for i := 0; i < 4; i++ {
+				if _, _, err := eng.Exec(ctx, a, b); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	stats := eng.CacheStats()
+	fmt.Printf("\nplan cache: %d hits / %d misses (%.1f%% hit rate), %d/%d shapes cached\n",
+		stats.Hits, stats.Misses,
+		100*float64(stats.Hits)/float64(stats.Hits+stats.Misses),
+		stats.Len, stats.Cap)
+
+	// Cold vs warm: a fresh engine pays the grid fit on first contact
+	// with a shape; the warm engine executes immediately.
+	a := cosma.RandomMatrix(256, 256, 7)
+	b := cosma.RandomMatrix(256, 256, 8)
+	cold, err := cosma.NewEngine(cosma.WithProcs(16), cosma.WithMemory(1<<14))
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	if _, _, err := cold.Exec(ctx, a, b); err != nil {
+		log.Fatal(err)
+	}
+	coldTime := time.Since(t0)
+	t0 = time.Now()
+	if _, _, err := eng.Exec(ctx, a, b); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold first call %8.1fms   warm call %8.1fms\n",
+		float64(coldTime.Microseconds())/1e3,
+		float64(time.Since(t0).Microseconds())/1e3)
+}

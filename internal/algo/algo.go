@@ -74,11 +74,11 @@ func NewReport(name, gridStr string, m *machine.Machine, used int, model Model) 
 	return rep
 }
 
-// Runner is a distributed MMM algorithm: it multiplies on a simulated
-// machine of p ranks with s words of local memory each, and can predict
-// its own communication analytically at any scale.
+// Runner is a distributed MMM algorithm as the legacy one-shot API saw
+// it: a Planner whose Run method plans, builds a fresh machine and
+// executes in one call (via RunPlanner). New code should plan once and
+// execute many times through Plan/Executor instead.
 type Runner interface {
-	Name() string
+	Planner
 	Run(a, b *matrix.Dense, p, s int) (*matrix.Dense, *Report, error)
-	Model(m, n, k, p, s int) Model
 }

@@ -1,0 +1,213 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+
+	"cosma/internal/machine"
+	"cosma/internal/matrix"
+)
+
+// Plan is the shape-dependent half of an algorithm: everything derived
+// from (m, n, k, p, S) alone — the fitted processor grid, ownership
+// partitions and round schedule — independent of the matrix values.
+// Plans are immutable and safe for concurrent use; all per-execution
+// state lives in the Executor driving them.
+type Plan interface {
+	// Algorithm returns the display name of the algorithm that produced
+	// the plan.
+	Algorithm() string
+	// Grid returns the human-readable decomposition.
+	Grid() string
+	// Used returns the number of ranks that perform work.
+	Used() int
+	// Procs returns the machine size p the plan was fitted for.
+	Procs() int
+	// Dims returns the (m, n, k) problem shape the plan multiplies.
+	Dims() (m, n, k int)
+	// Model returns the analytic communication/computation prediction
+	// for the planned schedule.
+	Model() Model
+	// Execute runs the planned schedule on mach (which must span
+	// Procs() ranks), multiplying a·b and drawing rank-local scratch
+	// from scratch (nil for fresh allocations). Cancellation of ctx is
+	// honored at communication-round boundaries and unblocks ranks
+	// parked in Recv or Barrier.
+	Execute(ctx context.Context, mach *machine.Machine, scratch *Arena, a, b *matrix.Dense) (*matrix.Dense, error)
+}
+
+// Planner is the planning phase of a distributed MMM algorithm: it
+// compiles a problem shape into an executable Plan and can predict its
+// communication analytically at any scale.
+type Planner interface {
+	Name() string
+	// Plan compiles the schedule for an m×k by k×n multiplication on p
+	// ranks with s words of memory each. It performs all grid fitting;
+	// executing the returned plan does none.
+	Plan(m, n, k, p, s int) (Plan, error)
+	Model(m, n, k, p, s int) Model
+}
+
+// Decomposition describes a plan's §6.3 schedule geometry: the fitted
+// processor grid and the local-domain extents per rank.
+type Decomposition struct {
+	GridPm, GridPn, GridPk    int // the fitted processor grid (§7.1)
+	RanksUsed                 int
+	DomainM, DomainN, DomainK int // local domain extents per rank
+	StepSize                  int // outer products per communication round
+	Rounds                    int // number of rounds t (latency cost L)
+}
+
+// String implements fmt.Stringer.
+func (d Decomposition) String() string {
+	return fmt.Sprintf("grid [%d×%d×%d] (%d ranks), domain [%d×%d×%d], %d rounds of %d",
+		d.GridPm, d.GridPn, d.GridPk, d.RanksUsed,
+		d.DomainM, d.DomainN, d.DomainK, d.Rounds, d.StepSize)
+}
+
+// Decomposed is implemented by plans that expose their grid geometry
+// (currently COSMA's).
+type Decomposed interface {
+	Decomposition() Decomposition
+}
+
+// Executor executes one Plan repeatedly on a dedicated pre-built
+// machine with per-rank scratch buffers that are recycled across calls,
+// so repeated same-shape multiplications pay only the execution cost.
+// An Executor is not safe for concurrent use; run concurrent executions
+// on separate Executors of the same Plan.
+type Executor struct {
+	plan    Plan
+	mach    *machine.Machine
+	scratch *Arena
+}
+
+// NewExecutor builds an executor for p: the machine (on the given
+// network, nil for the counting transport) and the scratch arena are
+// allocated once here and reused by every Exec.
+func NewExecutor(p Plan, net *machine.NetworkParams) *Executor {
+	return &Executor{
+		plan:    p,
+		mach:    machine.NewWithNetwork(p.Procs(), net),
+		scratch: NewArena(p.Procs()),
+	}
+}
+
+// Plan returns the plan this executor drives.
+func (e *Executor) Plan() Plan { return e.plan }
+
+// Exec multiplies a·b under the executor's plan and reports the
+// executed run. It validates the inputs against the planned shape and
+// returns ctx.Err() if the context is cancelled before or during the
+// run.
+func (e *Executor) Exec(ctx context.Context, a, b *matrix.Dense) (*matrix.Dense, *Report, error) {
+	m, n, k := e.plan.Dims()
+	if a.Rows != m || a.Cols != k || b.Rows != k || b.Cols != n {
+		return nil, nil, fmt.Errorf("algo: plan is for %d×%d·%d×%d but got %d×%d·%d×%d",
+			m, k, k, n, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	e.scratch.Reset()
+	c, err := e.plan.Execute(ctx, e.mach, e.scratch, a, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := NewReport(e.plan.Algorithm(), e.plan.Grid(), e.mach, e.plan.Used(), e.plan.Model())
+	return c, rep, nil
+}
+
+// RunPlanner is the one-shot path behind the legacy Runner API: plan,
+// build a fresh machine, execute once. The algorithm implementations
+// derive their Run methods from it.
+func RunPlanner(pl Planner, net *machine.NetworkParams, a, b *matrix.Dense, p, s int) (*matrix.Dense, *Report, error) {
+	if a.Cols != b.Rows {
+		return nil, nil, fmt.Errorf("algo: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	plan, err := pl.Plan(a.Rows, b.Cols, a.Cols, p, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewExecutor(plan, net).Exec(context.Background(), a, b)
+}
+
+// Arena is a set of per-rank scratch matrices reused across executions.
+// A deterministic schedule requests the same sequence of shapes on
+// every execution, so after the first run every request is served from
+// the buffers of the previous one and the steady state allocates
+// nothing. Each rank touches only its own slots, so concurrent rank
+// programs need no locking; Reset must be called between executions
+// with no rank program running.
+type Arena struct {
+	ranks []rankScratch
+}
+
+type rankScratch struct {
+	mats []*matrix.Dense
+	next int
+}
+
+// NewArena returns an empty arena for p ranks.
+func NewArena(p int) *Arena {
+	return &Arena{ranks: make([]rankScratch, p)}
+}
+
+// Reset recycles every buffer for the next execution.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	for i := range a.ranks {
+		a.ranks[i].next = 0
+	}
+}
+
+// Matrix returns a zeroed rows×cols scratch matrix owned by rank until
+// the next Reset. A nil arena degrades to a plain allocation. Arena
+// matrices must never be handed to machine.Release or SendOwned — the
+// arena retains them for the next execution.
+func (a *Arena) Matrix(rank, rows, cols int) *matrix.Dense {
+	if a == nil {
+		return matrix.New(rows, cols)
+	}
+	m, reused := a.get(rank, rows, cols)
+	if reused {
+		m.Zero()
+	}
+	return m
+}
+
+// Clone returns a scratch copy of src owned by rank until the next
+// Reset — the arena-backed counterpart of matrix.Dense.Clone.
+func (a *Arena) Clone(rank int, src *matrix.Dense) *matrix.Dense {
+	if a == nil {
+		return src.Clone()
+	}
+	m, _ := a.get(rank, src.Rows, src.Cols)
+	m.CopyFrom(src)
+	return m
+}
+
+// get returns the next scratch slot for rank resized to rows×cols,
+// reporting whether it recycled an earlier buffer (whose stale contents
+// the caller must overwrite).
+func (a *Arena) get(rank, rows, cols int) (m *matrix.Dense, reused bool) {
+	rs := &a.ranks[rank]
+	if rs.next < len(rs.mats) {
+		if m := rs.mats[rs.next]; cap(m.Data) >= rows*cols {
+			rs.next++
+			m.Rows, m.Cols, m.Stride = rows, cols, cols
+			m.Data = m.Data[:rows*cols]
+			return m, true
+		}
+	}
+	m = matrix.New(rows, cols)
+	if rs.next < len(rs.mats) {
+		rs.mats[rs.next] = m
+	} else {
+		rs.mats = append(rs.mats, m)
+	}
+	rs.next++
+	return m, false
+}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -61,43 +62,72 @@ func (C25D) Layers(m, n, k, p, sMem int) (pr, pc, c int) {
 	return pr, pc, bestC
 }
 
-// Run implements algo.Runner.
-func (d C25D) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
-	if a.Cols != b.Rows {
-		return nil, nil, fmt.Errorf("baselines: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
-	}
-	m, k, n := a.Rows, a.Cols, b.Cols
+// Plan implements algo.Planner: the replication factor and layer grid
+// are fitted once per shape.
+func (d C25D) Plan(m, n, k, p, sMem int) (algo.Plan, error) {
 	pr, pc, c := d.Layers(m, n, k, p, sMem)
 	if pr > m || pc > n || c > k {
-		return nil, nil, fmt.Errorf("baselines: 2.5D grid [%d×%d×%d] exceeds %d×%d×%d", pr, pc, c, m, n, k)
+		return nil, fmt.Errorf("baselines: 2.5D grid [%d×%d×%d] exceeds %d×%d×%d", pr, pc, c, m, n, k)
 	}
+	return &c25dPlan{
+		m: m, n: n, k: k, p: p, sMem: sMem,
+		pr: pr, pc: pc, c: c,
+		model: d.Model(m, n, k, p, sMem),
+	}, nil
+}
 
-	mach := machine.NewWithNetwork(p, d.Network)
-	tiles := make([]*matrix.Dense, p)
-	err := mach.Run(func(r *machine.Rank) error {
-		tiles[r.ID()] = c25dRank(r, a, b, pr, pc, c, sMem)
-		return nil
+// Run implements algo.Runner — the legacy one-shot path.
+func (d C25D) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
+	return algo.RunPlanner(d, d.Network, a, b, p, sMem)
+}
+
+// c25dPlan is the compiled 2.5D schedule on a [pr × pc × c] grid.
+type c25dPlan struct {
+	m, n, k, p, sMem int
+	pr, pc, c        int
+	model            algo.Model
+}
+
+func (pl *c25dPlan) Algorithm() string   { return C25D{}.Name() }
+func (pl *c25dPlan) Grid() string        { return fmt.Sprintf("[%d×%d×%d]", pl.pr, pl.pc, pl.c) }
+func (pl *c25dPlan) Used() int           { return pl.p }
+func (pl *c25dPlan) Procs() int          { return pl.p }
+func (pl *c25dPlan) Dims() (m, n, k int) { return pl.m, pl.n, pl.k }
+func (pl *c25dPlan) Model() algo.Model   { return pl.model }
+
+// Execute implements algo.Plan.
+func (pl *c25dPlan) Execute(ctx context.Context, mach *machine.Machine, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
+	if mach.P() != pl.p {
+		return nil, fmt.Errorf("baselines: plan is for p=%d but machine has %d ranks", pl.p, mach.P())
+	}
+	pr, pc := pl.pr, pl.pc
+	tiles := make([]*matrix.Dense, pl.p)
+	err := mach.RunCtx(ctx, func(r *machine.Rank) error {
+		tile, err := pl.rankProgram(r, scratch, a, b)
+		tiles[r.ID()] = tile
+		return err
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
-	out := matrix.New(m, n)
-	for id := 0; id < p; id++ {
+	out := matrix.New(pl.m, pl.n)
+	for id := 0; id < pl.p; id++ {
 		i, j, l := id%pr, (id/pr)%pc, id/(pr*pc)
 		if l != 0 {
 			continue // C lives on layer 0 after the reduction
 		}
-		rows := layout.Block(m, pr, i)
-		cols := layout.Block(n, pc, j)
+		rows := layout.Block(pl.m, pr, i)
+		cols := layout.Block(pl.n, pc, j)
 		out.View(rows.Lo, cols.Lo, rows.Len(), cols.Len()).CopyFrom(tiles[id])
+		machine.Release(tiles[id].Data) // the fiber reduction loaned it
 	}
-	rep := algo.NewReport(d.Name(), fmt.Sprintf("[%d×%d×%d]", pr, pc, c), mach, p, d.Model(m, n, k, p, sMem))
-	return out, rep, nil
+	return out, nil
 }
 
-func c25dRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, c, sMem int) *matrix.Dense {
-	m, k, n := a.Rows, a.Cols, b.Cols
+func (pl *c25dPlan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
+	m, n, k := pl.m, pl.n, pl.k
+	pr, pc, c, sMem := pl.pr, pl.pc, pl.c, pl.sMem
 	i, j, l := r.ID()%pr, (r.ID()/pr)%pc, r.ID()/(pr*pc)
 	rank := func(ii, jj, ll int) int { return ii + pr*(jj+pc*ll) }
 	rows := layout.Block(m, pr, i)
@@ -129,8 +159,8 @@ func c25dRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, c, sMem int) *matrix.
 	bPart := layout.Block(slab.Len(), pr, i)
 	var myA, myB *matrix.Dense
 	if l == 0 {
-		myA = myAPieces[0].Clone()
-		myB = myBPieces[0].Clone()
+		myA = scratch.Clone(r.ID(), myAPieces[0])
+		myB = scratch.Clone(r.ID(), myBPieces[0])
 	} else {
 		myA = matrix.FromSlice(dm, aPart.Len(), r.Recv(rank(i, j, 0), c25TagScatterA))
 		myB = matrix.FromSlice(bPart.Len(), dn, r.Recv(rank(i, j, 0), c25TagScatterB))
@@ -148,10 +178,13 @@ func c25dRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, c, sMem int) *matrix.
 	rowGroup := comm.NewGroup(r, rowIDs)
 	colGroup := comm.NewGroup(r, colIDs)
 
-	cTile := matrix.New(dm, dn)
+	cTile := scratch.Matrix(r.ID(), dm, dn)
 	dmMax, dnMax := ceilDiv(m, pr), ceilDiv(n, pc)
 	step := panelWidth(sMem, dmMax, dnMax)
 	for _, seg := range kSegments(slab.Len(), pr, pc, step) {
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		aOwner := ownerIn(slab.Len(), pc, seg.Lo)
 		bOwner := ownerIn(slab.Len(), pr, seg.Lo)
 
@@ -182,9 +215,9 @@ func c25dRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, c, sMem int) *matrix.
 	}
 	sum := comm.NewGroup(r, fiberIDs).Reduce(0, cTile.Data, c25TagReduceC)
 	if l != 0 {
-		return nil
+		return nil, nil
 	}
-	return matrix.FromSlice(dm, dn, sum)
+	return matrix.FromSlice(dm, dn, sum), nil
 }
 
 // ownerIn returns the balanced-partition member of extent-into-parts that

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,7 +19,7 @@ type Cannon struct {
 	Network *machine.NetworkParams
 }
 
-// Name implements algo.Runner.
+// Name implements algo.Planner.
 func (Cannon) Name() string { return "Cannon-2D" }
 
 const (
@@ -28,24 +29,46 @@ const (
 	canTagB     = 4 << 20
 )
 
-// Run implements algo.Runner.
-func (c Cannon) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
-	if a.Cols != b.Rows {
-		return nil, nil, fmt.Errorf("baselines: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
-	}
-	m, k, n := a.Rows, a.Cols, b.Cols
+// Plan implements algo.Planner: validates the torus constraints once
+// per shape.
+func (c Cannon) Plan(m, n, k, p, sMem int) (algo.Plan, error) {
 	q := int(math.Round(math.Sqrt(float64(p))))
 	if q*q != p {
-		return nil, nil, fmt.Errorf("baselines: Cannon needs a square p, got %d", p)
+		return nil, fmt.Errorf("baselines: Cannon needs a square p, got %d", p)
 	}
 	if m%q != 0 || n%q != 0 || k%q != 0 {
-		return nil, nil, fmt.Errorf("baselines: Cannon needs q=%d to divide %d×%d×%d", q, m, n, k)
+		return nil, fmt.Errorf("baselines: Cannon needs q=%d to divide %d×%d×%d", q, m, n, k)
 	}
-	dm, dk, dn := m/q, k/q, n/q
+	return &cannonPlan{m: m, n: n, k: k, p: p, q: q, model: c.Model(m, n, k, p, sMem)}, nil
+}
 
-	mach := machine.NewWithNetwork(p, c.Network)
-	tiles := make([]*matrix.Dense, p)
-	err := mach.Run(func(r *machine.Rank) error {
+// Run implements algo.Runner — the legacy one-shot path.
+func (c Cannon) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
+	return algo.RunPlanner(c, c.Network, a, b, p, sMem)
+}
+
+// cannonPlan is Cannon's compiled schedule on a q×q torus.
+type cannonPlan struct {
+	m, n, k, p, q int
+	model         algo.Model
+}
+
+func (pl *cannonPlan) Algorithm() string   { return Cannon{}.Name() }
+func (pl *cannonPlan) Grid() string        { return fmt.Sprintf("[%d×%d×1]", pl.q, pl.q) }
+func (pl *cannonPlan) Used() int           { return pl.p }
+func (pl *cannonPlan) Procs() int          { return pl.p }
+func (pl *cannonPlan) Dims() (m, n, k int) { return pl.m, pl.n, pl.k }
+func (pl *cannonPlan) Model() algo.Model   { return pl.model }
+
+// Execute implements algo.Plan.
+func (pl *cannonPlan) Execute(ctx context.Context, mach *machine.Machine, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
+	if mach.P() != pl.p {
+		return nil, fmt.Errorf("baselines: plan is for p=%d but machine has %d ranks", pl.p, mach.P())
+	}
+	q := pl.q
+	dm, dk, dn := pl.m/q, pl.k/q, pl.n/q
+	tiles := make([]*matrix.Dense, pl.p)
+	err := mach.RunCtx(ctx, func(r *machine.Rank) error {
 		i, j := r.ID()/q, r.ID()%q // row-major torus coordinates
 		rank := func(ii, jj int) int { return mod(ii, q)*q + mod(jj, q) }
 
@@ -68,8 +91,11 @@ func (c Cannon) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Repor
 			myB = shift(rank(i-j, j), myB, rank(i+j, j), canTagSkewB)
 		}
 
-		cTile := matrix.New(dm, dn)
+		cTile := scratch.Matrix(r.ID(), dm, dn)
 		for t := 0; t < q; t++ {
+			if err := r.Err(); err != nil {
+				return err
+			}
 			matrix.Mul(cTile,
 				matrix.FromSlice(dm, dk, myA),
 				matrix.FromSlice(dk, dn, myB))
@@ -86,16 +112,15 @@ func (c Cannon) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Repor
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
-	out := matrix.New(m, n)
-	for id := 0; id < p; id++ {
+	out := matrix.New(pl.m, pl.n)
+	for id := 0; id < pl.p; id++ {
 		i, j := id/q, id%q
 		out.View(i*dm, j*dn, dm, dn).CopyFrom(tiles[id])
 	}
-	rep := algo.NewReport(c.Name(), fmt.Sprintf("[%d×%d×1]", q, q), mach, p, c.Model(m, n, k, p, sMem))
-	return out, rep, nil
+	return out, nil
 }
 
 // Model implements algo.Runner. Per rank: the skew moves one A block for

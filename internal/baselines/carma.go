@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,24 +39,50 @@ type carmaPiece struct {
 	local          *matrix.Dense
 }
 
-// Run implements algo.Runner.
-func (c CARMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
-	if a.Cols != b.Rows {
-		return nil, nil, fmt.Errorf("baselines: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+// Plan implements algo.Planner: the power-of-two team is fixed once per
+// shape.
+func (c CARMA) Plan(m, n, k, p, sMem int) (algo.Plan, error) {
+	if m < 1 || n < 1 || k < 1 {
+		return nil, fmt.Errorf("baselines: invalid dimensions %d×%d×%d", m, n, k)
 	}
-	m, k, n := a.Rows, a.Cols, b.Cols
 	used := 1
 	for used*2 <= p {
 		used *= 2
 	}
+	return &carmaPlan{m: m, n: n, k: k, p: p, used: used, model: c.Model(m, n, k, p, sMem)}, nil
+}
+
+// Run implements algo.Runner — the legacy one-shot path.
+func (c CARMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
+	return algo.RunPlanner(c, c.Network, a, b, p, sMem)
+}
+
+// carmaPlan is the compiled recursive schedule over a power-of-two
+// team of `used` ranks.
+type carmaPlan struct {
+	m, n, k, p, used int
+	model            algo.Model
+}
+
+func (pl *carmaPlan) Algorithm() string   { return CARMA{}.Name() }
+func (pl *carmaPlan) Grid() string        { return fmt.Sprintf("recursive p=%d", pl.used) }
+func (pl *carmaPlan) Used() int           { return pl.used }
+func (pl *carmaPlan) Procs() int          { return pl.p }
+func (pl *carmaPlan) Dims() (m, n, k int) { return pl.m, pl.n, pl.k }
+func (pl *carmaPlan) Model() algo.Model   { return pl.model }
+
+// Execute implements algo.Plan.
+func (pl *carmaPlan) Execute(ctx context.Context, mach *machine.Machine, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
+	if mach.P() != pl.p {
+		return nil, fmt.Errorf("baselines: plan is for p=%d but machine has %d ranks", pl.p, mach.P())
+	}
+	m, n, k, used := pl.m, pl.n, pl.k, pl.used
 	team := make([]int, used)
 	for i := range team {
 		team[i] = i
 	}
-
-	mach := machine.NewWithNetwork(p, c.Network)
 	out := matrix.New(m, n)
-	err := mach.Run(func(r *machine.Rank) error {
+	err := mach.RunCtx(ctx, func(r *machine.Rank) error {
 		// Every rank (including idle ones beyond `used`) walks the same
 		// recursion tree; transfers no-op for ranks outside the teams
 		// involved, which keeps tags aligned without global metadata.
@@ -65,10 +92,13 @@ func (c CARMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report
 		if r.ID() < used {
 			ab := aDist.Band(r.ID())
 			bb := bDist.Band(r.ID())
-			aLoc = a.View(ab.Lo, 0, ab.Len(), k).Clone()
-			bLoc = b.View(bb.Lo, 0, bb.Len(), n).Clone()
+			aLoc = scratch.Clone(r.ID(), a.View(ab.Lo, 0, ab.Len(), k))
+			bLoc = scratch.Clone(r.ID(), b.View(bb.Lo, 0, bb.Len(), n))
 		}
-		pieces := carmaSolve(r, team, aLoc, bLoc, m, n, k, 1)
+		pieces, err := carmaSolve(r, team, aLoc, bLoc, m, n, k, 1)
+		if err != nil {
+			return err
+		}
 		// Assemble my bands of the recursive output layout. Ranks write
 		// disjoint regions of the shared result.
 		for _, pc := range pieces {
@@ -86,16 +116,20 @@ func (c CARMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	rep := algo.NewReport(c.Name(), fmt.Sprintf("recursive p=%d", used), mach, used, c.Model(m, n, k, p, sMem))
-	return out, rep, nil
+	return out, nil
 }
 
 // carmaSolve handles one recursion node. All ranks of the original
 // machine call it with identical metadata; only members of team carry
 // data. node identifies the tree position for tag derivation.
-func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, kr, node int) []carmaPiece {
+// Cancellation is polled once per node — the recursion's analogue of a
+// communication-round boundary.
+func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, kr, node int) ([]carmaPiece, error) {
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
 	q := len(team)
 	aDist := layout.RowDist{Rows: mr, Team: team}
 	bDist := layout.RowDist{Rows: kr, Team: team}
@@ -106,7 +140,7 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 			matrix.Mul(cLoc, aLoc, bLoc)
 			r.Compute(matrix.MulFlops(mr, nr, kr))
 		}
-		return []carmaPiece{{cols: nr, dist: layout.RowDist{Rows: mr, Team: team}, local: cLoc}}
+		return []carmaPiece{{cols: nr, dist: layout.RowDist{Rows: mr, Team: team}, local: cLoc}}, nil
 	}
 
 	team1, team2 := team[:q/2], team[q/2:]
@@ -119,12 +153,18 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 		a2 := transferTo(r, aDist, aLoc, layout.Range{Lo: mh, Hi: mr}, layout.Range{Lo: 0, Hi: kr}, team2, tag+1)
 		b1 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: 0, Hi: nr}, team1, tag+2)
 		b2 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: 0, Hi: nr}, team2, tag+3)
-		p1 := carmaSolve(r, team1, a1, b1, mh, nr, kr, 2*node)
-		p2 := carmaSolve(r, team2, a2, b2, mr-mh, nr, kr, 2*node+1)
+		p1, err := carmaSolve(r, team1, a1, b1, mh, nr, kr, 2*node)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := carmaSolve(r, team2, a2, b2, mr-mh, nr, kr, 2*node+1)
+		if err != nil {
+			return nil, err
+		}
 		for i := range p2 {
 			p2[i].rowOff += mh
 		}
-		return append(p1, p2...)
+		return append(p1, p2...), nil
 
 	case 'n':
 		nh := nr / 2
@@ -132,12 +172,18 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 		a2 := transferTo(r, aDist, aLoc, layout.Range{Lo: 0, Hi: mr}, layout.Range{Lo: 0, Hi: kr}, team2, tag+1)
 		b1 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: 0, Hi: nh}, team1, tag+2)
 		b2 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: nh, Hi: nr}, team2, tag+3)
-		p1 := carmaSolve(r, team1, a1, b1, mr, nh, kr, 2*node)
-		p2 := carmaSolve(r, team2, a2, b2, mr, nr-nh, kr, 2*node+1)
+		p1, err := carmaSolve(r, team1, a1, b1, mr, nh, kr, 2*node)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := carmaSolve(r, team2, a2, b2, mr, nr-nh, kr, 2*node+1)
+		if err != nil {
+			return nil, err
+		}
 		for i := range p2 {
 			p2[i].colOff += nh
 		}
-		return append(p1, p2...)
+		return append(p1, p2...), nil
 
 	default: // 'k'
 		kh := kr / 2
@@ -145,8 +191,14 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 		a2 := transferTo(r, aDist, aLoc, layout.Range{Lo: 0, Hi: mr}, layout.Range{Lo: kh, Hi: kr}, team2, tag+1)
 		b1 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kh}, layout.Range{Lo: 0, Hi: nr}, team1, tag+2)
 		b2 := transferTo(r, bDist, bLoc, layout.Range{Lo: kh, Hi: kr}, layout.Range{Lo: 0, Hi: nr}, team2, tag+3)
-		p1 := carmaSolve(r, team1, a1, b1, mr, nr, kh, 2*node)
-		p2 := carmaSolve(r, team2, a2, b2, mr, nr, kr-kh, 2*node+1)
+		p1, err := carmaSolve(r, team1, a1, b1, mr, nr, kh, 2*node)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := carmaSolve(r, team2, a2, b2, mr, nr, kr-kh, 2*node+1)
+		if err != nil {
+			return nil, err
+		}
 
 		// Ascent: sum both halves' partial C into the parent row
 		// distribution.
@@ -162,7 +214,7 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 				cDist, pc.rowOff, pc.colOff, cLoc, true, tag+idx)
 			idx++
 		}
-		return []carmaPiece{{cols: nr, dist: cDist, local: cLoc}}
+		return []carmaPiece{{cols: nr, dist: cDist, local: cLoc}}, nil
 	}
 }
 

@@ -13,6 +13,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,7 +33,42 @@ type SUMMA struct {
 	Network *machine.NetworkParams
 }
 
-// Name implements algo.Runner.
+func init() {
+	algo.Register(algo.Spec{
+		Name:       "summa",
+		Aliases:    []string{"scalapack", "2d"},
+		Summary:    "2D SUMMA on the most square grid — what ScaLAPACK's PDGEMM implements",
+		Order:      1,
+		Comparison: true,
+		New:        func(cfg algo.Config) algo.Runner { return SUMMA{Network: cfg.Network} },
+	})
+	algo.Register(algo.Spec{
+		Name:       "2.5d",
+		Aliases:    []string{"ctf", "c25d"},
+		Summary:    "2.5D decomposition of Solomonik and Demmel — what CTF implements",
+		Order:      2,
+		Comparison: true,
+		New:        func(cfg algo.Config) algo.Runner { return C25D{Network: cfg.Network} },
+	})
+	algo.Register(algo.Spec{
+		Name:       "carma",
+		Aliases:    []string{"recursive"},
+		Summary:    "recursive split-largest-dimension decomposition of Demmel et al.",
+		Order:      3,
+		Comparison: true,
+		New:        func(cfg algo.Config) algo.Runner { return CARMA{Network: cfg.Network} },
+	})
+	algo.Register(algo.Spec{
+		Name:       "cannon",
+		Aliases:    []string{"torus"},
+		Summary:    "Cannon's algorithm on a square torus (1969) — needs square p and divisible dims",
+		Order:      4,
+		Comparison: false, // the paper's comparison set (§9) excludes it
+		New:        func(cfg algo.Config) algo.Runner { return Cannon{Network: cfg.Network} },
+	})
+}
+
+// Name implements algo.Planner.
 func (SUMMA) Name() string { return "ScaLAPACK/SUMMA-2D" }
 
 // NearSquare factors p into pr·pc with pr ≤ pc and pr as large as
@@ -54,54 +90,83 @@ const (
 	sumTagB = 2 << 20
 )
 
-// Run implements algo.Runner. A is m×k, B is k×n; each rank (i, j) owns
-// the blocks A[Mi, Kj], B[Ki, Nj] and computes C[Mi, Nj]. For every
-// k-segment, the owning column broadcasts its A panel along its row and
-// the owning row broadcasts its B panel along its column, sub-chunked to
-// the memory-limited panel width.
-func (s SUMMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
-	if a.Cols != b.Rows {
-		return nil, nil, fmt.Errorf("baselines: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
-	}
-	m, k, n := a.Rows, a.Cols, b.Cols
+// Plan implements algo.Planner: the grid factorization, round segments
+// and model are computed once per shape.
+func (s SUMMA) Plan(m, n, k, p, sMem int) (algo.Plan, error) {
 	pr, pc := NearSquare(p)
 	if pr > m || pc > n {
-		return nil, nil, fmt.Errorf("baselines: grid %d×%d exceeds matrix %d×%d", pr, pc, m, n)
+		return nil, fmt.Errorf("baselines: grid %d×%d exceeds matrix %d×%d", pr, pc, m, n)
 	}
-
-	mach := machine.NewWithNetwork(p, s.Network)
-	tiles := make([]*matrix.Dense, p)
-	err := mach.Run(func(r *machine.Rank) error {
-		tiles[r.ID()] = summaRank(r, a, b, pr, pc, sMem)
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-
-	out := matrix.New(m, n)
-	for id := 0; id < p; id++ {
-		i, j := id%pr, id/pr
-		rows := layout.Block(m, pr, i)
-		cols := layout.Block(n, pc, j)
-		out.View(rows.Lo, cols.Lo, rows.Len(), cols.Len()).CopyFrom(tiles[id])
-	}
-	rep := algo.NewReport(s.Name(), fmt.Sprintf("[%d×%d×1]", pr, pc), mach, p, s.Model(m, n, k, p, sMem))
-	return out, rep, nil
+	dmMax, dnMax := ceilDiv(m, pr), ceilDiv(n, pc)
+	return &summaPlan{
+		m: m, n: n, k: k, p: p,
+		pr: pr, pc: pc,
+		segs:  kSegments(k, pr, pc, panelWidth(sMem, dmMax, dnMax)),
+		model: s.Model(m, n, k, p, sMem),
+	}, nil
 }
 
-func summaRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, sMem int) *matrix.Dense {
-	m, k, n := a.Rows, a.Cols, b.Cols
+// Run implements algo.Runner — the legacy one-shot path.
+func (s SUMMA) Run(a, b *matrix.Dense, p, sMem int) (*matrix.Dense, *algo.Report, error) {
+	return algo.RunPlanner(s, s.Network, a, b, p, sMem)
+}
+
+// summaPlan is SUMMA's compiled schedule: A is m×k, B is k×n; each rank
+// (i, j) owns the blocks A[Mi, Kj], B[Ki, Nj] and computes C[Mi, Nj].
+// For every k-segment, the owning column broadcasts its A panel along
+// its row and the owning row broadcasts its B panel along its column,
+// sub-chunked to the memory-limited panel width.
+type summaPlan struct {
+	m, n, k, p int
+	pr, pc     int
+	segs       []layout.Range
+	model      algo.Model
+}
+
+func (pl *summaPlan) Algorithm() string   { return SUMMA{}.Name() }
+func (pl *summaPlan) Grid() string        { return fmt.Sprintf("[%d×%d×1]", pl.pr, pl.pc) }
+func (pl *summaPlan) Used() int           { return pl.p }
+func (pl *summaPlan) Procs() int          { return pl.p }
+func (pl *summaPlan) Dims() (m, n, k int) { return pl.m, pl.n, pl.k }
+func (pl *summaPlan) Model() algo.Model   { return pl.model }
+
+// Execute implements algo.Plan.
+func (pl *summaPlan) Execute(ctx context.Context, mach *machine.Machine, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
+	if mach.P() != pl.p {
+		return nil, fmt.Errorf("baselines: plan is for p=%d but machine has %d ranks", pl.p, mach.P())
+	}
+	tiles := make([]*matrix.Dense, pl.p)
+	err := mach.RunCtx(ctx, func(r *machine.Rank) error {
+		tile, err := pl.rankProgram(r, scratch, a, b)
+		tiles[r.ID()] = tile
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := matrix.New(pl.m, pl.n)
+	for id := 0; id < pl.p; id++ {
+		i, j := id%pl.pr, id/pl.pr
+		rows := layout.Block(pl.m, pl.pr, i)
+		cols := layout.Block(pl.n, pl.pc, j)
+		out.View(rows.Lo, cols.Lo, rows.Len(), cols.Len()).CopyFrom(tiles[id])
+	}
+	return out, nil
+}
+
+func (pl *summaPlan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
+	k, pr, pc := pl.k, pl.pr, pl.pc
 	i, j := r.ID()%pr, r.ID()/pr
-	rows := layout.Block(m, pr, i)
-	cols := layout.Block(n, pc, j)
+	rows := layout.Block(pl.m, pr, i)
+	cols := layout.Block(pl.n, pc, j)
 	dm, dn := rows.Len(), cols.Len()
 
 	// My input blocks under the 2D blocked layout.
 	aCols := layout.Block(k, pc, j)
 	bRows := layout.Block(k, pr, i)
-	myA := a.View(rows.Lo, aCols.Lo, dm, aCols.Len()).Clone()
-	myB := b.View(bRows.Lo, cols.Lo, bRows.Len(), dn).Clone()
+	myA := scratch.Clone(r.ID(), a.View(rows.Lo, aCols.Lo, dm, aCols.Len()))
+	myB := scratch.Clone(r.ID(), b.View(bRows.Lo, cols.Lo, bRows.Len(), dn))
 
 	rowIDs := make([]int, pc) // ranks sharing my row i
 	for c := 0; c < pc; c++ {
@@ -114,11 +179,12 @@ func summaRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, sMem int) *matrix.De
 	rowGroup := comm.NewGroup(r, rowIDs)
 	colGroup := comm.NewGroup(r, colIDs)
 
-	cTile := matrix.New(dm, dn)
-	dmMax, dnMax := ceilDiv(m, pr), ceilDiv(n, pc)
-	step := panelWidth(sMem, dmMax, dnMax)
+	cTile := scratch.Matrix(r.ID(), dm, dn)
 
-	for _, seg := range kSegments(k, pr, pc, step) {
+	for _, seg := range pl.segs {
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		aOwner := ownerIn(k, pc, seg.Lo)
 		bOwner := ownerIn(k, pr, seg.Lo)
 
@@ -141,7 +207,7 @@ func summaRank(r *machine.Rank, a, b *matrix.Dense, pr, pc, sMem int) *matrix.De
 		machine.Release(aChunk)
 		machine.Release(bChunk)
 	}
-	return cTile
+	return cTile, nil
 }
 
 // panelWidth is the largest k-panel that keeps the C tile plus one A and

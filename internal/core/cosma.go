@@ -7,9 +7,16 @@
 // rounds of s = ⌊(S−a²)/(2a)⌋ outer products (Algorithm 1 line 6), with
 // inputs broadcast along grid rows/columns from the blocked data layout
 // (§7.6) and partial C results reduced along the k fibers.
+//
+// The work splits into two phases. Plan compiles a problem shape into an
+// immutable schedule — the fitted grid, the per-slab round segments and
+// the analytic model — and Execute replays that schedule against matrix
+// values on a machine, so repeated same-shape multiplications fit the
+// grid exactly once.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cosma/internal/algo"
@@ -34,7 +41,19 @@ type COSMA struct {
 	Network *machine.NetworkParams
 }
 
-// Name implements algo.Runner.
+func init() {
+	algo.Register(algo.Spec{
+		Name:       "cosma",
+		Summary:    "near-I/O-optimal S-partition schedule with §7.1 grid fitting (this paper)",
+		Order:      0,
+		Comparison: true,
+		New: func(cfg algo.Config) algo.Runner {
+			return &COSMA{Delta: cfg.Delta, Network: cfg.Network}
+		},
+	})
+}
+
+// Name implements algo.Planner.
 func (c *COSMA) Name() string { return "COSMA" }
 
 func (c *COSMA) delta() float64 {
@@ -51,79 +70,155 @@ const (
 	tagC = 3 << 20
 )
 
-// Run multiplies a·b on a simulated machine of p ranks with s words of
-// local memory each. The returned matrix is assembled from the ranks'
-// distributed output tiles.
+// plan is COSMA's compiled schedule for one problem shape: the fitted
+// grid, the latency-minimizing step, the round segments of every k slab
+// and the analytic model. It is immutable after Plan returns.
+type plan struct {
+	m, n, k, p, s int
+	g             grid.Grid
+	step          int
+	segs          [][]layout.Range // round segments per ik slab index
+	model         algo.Model
+}
+
+// Plan implements algo.Planner: all grid fitting and round-schedule
+// construction happens here, once per shape.
+func (c *COSMA) Plan(m, n, k, p, s int) (algo.Plan, error) {
+	if m < 1 || n < 1 || k < 1 {
+		return nil, fmt.Errorf("core: invalid dimensions %d×%d×%d", m, n, k)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("core: p = %d must be ≥ 1", p)
+	}
+	g := grid.Fit(m, n, k, p, s, c.delta())
+	dmMax, dnMax, _ := g.LocalDims(m, n, k)
+	step := stepSize(s, dmMax, dnMax)
+	segs := make([][]layout.Range, g.Pk)
+	for ik := 0; ik < g.Pk; ik++ {
+		slab := layout.Block(k, g.Pk, ik)
+		aParts := layout.Split(slab.Len(), g.Pn)
+		bParts := layout.Split(slab.Len(), g.Pm)
+		segs[ik] = segments(slab.Len(), aParts, bParts, step)
+	}
+	return &plan{
+		m: m, n: n, k: k, p: p, s: s,
+		g: g, step: step, segs: segs,
+		model: modelFor(c.Name(), g, m, n, k, p, s),
+	}, nil
+}
+
+// Run implements algo.Runner — the legacy one-shot path: plan, build a
+// machine, execute once.
 func (c *COSMA) Run(a, b *matrix.Dense, p, s int) (*matrix.Dense, *algo.Report, error) {
 	if a.Cols != b.Rows {
 		return nil, nil, fmt.Errorf("core: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	m, k, n := a.Rows, a.Cols, b.Cols
-	g := grid.Fit(m, n, k, p, s, c.delta())
+	return algo.RunPlanner(c, c.Network, a, b, p, s)
+}
 
-	mach := machine.NewWithNetwork(p, c.Network)
-	tiles := make([]*matrix.Dense, p) // final C tiles, indexed by rank
-	err := mach.Run(func(r *machine.Rank) error {
-		if r.ID() >= g.Ranks() {
+// Algorithm implements algo.Plan.
+func (pl *plan) Algorithm() string { return "COSMA" }
+
+// Grid implements algo.Plan.
+func (pl *plan) Grid() string { return pl.g.String() }
+
+// Used implements algo.Plan.
+func (pl *plan) Used() int { return pl.g.Ranks() }
+
+// Procs implements algo.Plan.
+func (pl *plan) Procs() int { return pl.p }
+
+// Dims implements algo.Plan.
+func (pl *plan) Dims() (m, n, k int) { return pl.m, pl.n, pl.k }
+
+// Model implements algo.Plan.
+func (pl *plan) Model() algo.Model { return pl.model }
+
+// Decomposition implements algo.Decomposed: the §6.3 schedule geometry.
+func (pl *plan) Decomposition() algo.Decomposition {
+	dm, dn, dk := pl.g.LocalDims(pl.m, pl.n, pl.k)
+	return algo.Decomposition{
+		GridPm: pl.g.Pm, GridPn: pl.g.Pn, GridPk: pl.g.Pk,
+		RanksUsed: pl.g.Ranks(),
+		DomainM:   dm, DomainN: dn, DomainK: dk,
+		StepSize: pl.step,
+		Rounds:   ceilDiv(dk, pl.step),
+	}
+}
+
+// Execute implements algo.Plan. The returned matrix is assembled from
+// the ranks' distributed output tiles; the tile payloads (loaned from
+// the machine pool by the fiber reduction) are released back once
+// copied out.
+func (pl *plan) Execute(ctx context.Context, mach *machine.Machine, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
+	if mach.P() != pl.p {
+		return nil, fmt.Errorf("core: plan is for p=%d but machine has %d ranks", pl.p, mach.P())
+	}
+	tiles := make([]*matrix.Dense, pl.g.Ranks()) // final C tiles, indexed by rank
+	err := mach.RunCtx(ctx, func(r *machine.Rank) error {
+		if r.ID() >= pl.g.Ranks() {
 			return nil // idle rank left out by the grid fitting
 		}
-		tile := c.rankProgram(r, g, a, b, s)
+		tile, err := pl.rankProgram(r, scratch, a, b)
 		tiles[r.ID()] = tile
-		return nil
+		return err
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
-	out := matrix.New(m, n)
-	for id := 0; id < g.Ranks(); id++ {
+	out := matrix.New(pl.m, pl.n)
+	for id := 0; id < pl.g.Ranks(); id++ {
 		if tiles[id] == nil {
 			continue
 		}
-		im, in, _ := g.Coords(id)
-		rows := layout.Block(m, g.Pm, im)
-		cols := layout.Block(n, g.Pn, in)
+		im, in, _ := pl.g.Coords(id)
+		rows := layout.Block(pl.m, pl.g.Pm, im)
+		cols := layout.Block(pl.n, pl.g.Pn, in)
 		out.View(rows.Lo, cols.Lo, rows.Len(), cols.Len()).CopyFrom(tiles[id])
+		machine.Release(tiles[id].Data)
 	}
-	report := algo.NewReport(c.Name(), g.String(), mach, g.Ranks(), c.Model(m, n, k, p, s))
-	return out, report, nil
+	return out, nil
 }
 
 // rankProgram is one rank's part of Algorithm 1. It returns the rank's
-// final C tile if it is a fiber root (ik == 0), else nil.
-func (c *COSMA) rankProgram(r *machine.Rank, g grid.Grid, a, b *matrix.Dense, s int) *matrix.Dense {
-	m, k, n := a.Rows, a.Cols, b.Cols
-	im, in, ik := g.Coords(r.ID())
-	rows := layout.Block(m, g.Pm, im) // my M range
-	cols := layout.Block(n, g.Pn, in) // my N range
-	slab := layout.Block(k, g.Pk, ik) // my K range
+// final C tile if it is a fiber root (ik == 0), else nil. The tile's
+// payload is loaned from the machine pool; Execute releases it after
+// assembly.
+func (pl *plan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
+	im, in, ik := pl.g.Coords(r.ID())
+	rows := layout.Block(pl.m, pl.g.Pm, im) // my M range
+	cols := layout.Block(pl.n, pl.g.Pn, in) // my N range
+	slab := layout.Block(pl.k, pl.g.Pk, ik) // my K range
 	dm, dn := rows.Len(), cols.Len()
 
-	rowGroup := comm.NewGroup(r, g.RowGroup(in, ik)) // shares the B panel... see below
-	colGroup := comm.NewGroup(r, g.ColGroup(im, ik)) // shares the A panel
-	fiber := comm.NewGroup(r, g.FiberGroup(im, in))  // C reduction group
+	rowGroup := comm.NewGroup(r, pl.g.RowGroup(in, ik)) // shares the B panel... see below
+	colGroup := comm.NewGroup(r, pl.g.ColGroup(im, ik)) // shares the A panel
+	fiber := comm.NewGroup(r, pl.g.FiberGroup(im, in))  // C reduction group
 
 	// Blocked initial layout (§7.6): the A panel rows×slab is divided by
 	// k among the pn members of my column group (the ranks that need it);
 	// the B panel slab×cols among the pm members of my row group.
-	aParts := layout.Split(slab.Len(), g.Pn)
-	bParts := layout.Split(slab.Len(), g.Pm)
-	myA := a.View(rows.Lo, slab.Lo+aParts[in].Lo, dm, aParts[in].Len()).Clone()
-	myB := b.View(slab.Lo+bParts[im].Lo, cols.Lo, bParts[im].Len(), dn).Clone()
+	aParts := layout.Split(slab.Len(), pl.g.Pn)
+	bParts := layout.Split(slab.Len(), pl.g.Pm)
+	myA := scratch.Clone(r.ID(), a.View(rows.Lo, slab.Lo+aParts[in].Lo, dm, aParts[in].Len()))
+	myB := scratch.Clone(r.ID(), b.View(slab.Lo+bParts[im].Lo, cols.Lo, bParts[im].Len(), dn))
 
-	cTile := matrix.New(dm, dn)
-	// The step must be identical across every member of the broadcast
-	// groups, so it is computed from the grid-wide tile bounds rather
-	// than this rank's (possibly smaller, boundary) tile.
-	dmMax, dnMax, _ := g.LocalDims(m, n, a.Cols)
-	step := stepSize(s, dmMax, dnMax)
+	cTile := scratch.Matrix(r.ID(), dm, dn)
 
-	// Walk the slab over the union breakpoints of the A and B ownership
-	// partitions, sub-chunked to the latency-minimizing step, so each
-	// round broadcasts one owner's contiguous k-range of each panel.
-	// Panel buffers are loaned from the machine pool and released once
-	// multiplied in, so the round loop allocates nothing at steady state.
-	for _, seg := range segments(slab.Len(), aParts, bParts, step) {
+	// Walk the slab over the precomputed round segments — the union
+	// breakpoints of the A and B ownership partitions, sub-chunked to
+	// the latency-minimizing step — so each round broadcasts one owner's
+	// contiguous k-range of each panel. Panel buffers are loaned from
+	// the machine pool and released once multiplied in, so the round
+	// loop allocates nothing at steady state.
+	for _, seg := range pl.segs[ik] {
+		// Cancellation is polled once per communication round: every
+		// rank sees the same ctx, and a cancelled ctx also interrupts
+		// ranks already parked in Recv, so no rank is left behind.
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		aOwner := ownerOf(aParts, seg.Lo)
 		bOwner := ownerOf(bParts, seg.Lo)
 
@@ -150,9 +245,9 @@ func (c *COSMA) rankProgram(r *machine.Rank, g grid.Grid, a, b *matrix.Dense, s 
 	// Reduce the partial C tiles along the fiber to the ik = 0 root.
 	sum := fiber.Reduce(0, cTile.Data, tagC)
 	if ik != 0 {
-		return nil
+		return nil, nil
 	}
-	return matrix.FromSlice(dm, dn, sum)
+	return matrix.FromSlice(dm, dn, sum), nil
 }
 
 // stepSize is the latency-minimizing number of outer products per round
@@ -212,10 +307,15 @@ func sortInts(xs []int) {
 	}
 }
 
-// Model implements algo.Runner: the analytic prediction derived from the
-// same grid fitting and round structure as Run.
+// Model implements algo.Planner: the analytic prediction derived from
+// the same grid fitting and round structure as Plan.
 func (c *COSMA) Model(m, n, k, p, s int) algo.Model {
-	g := grid.Fit(m, n, k, p, s, c.delta())
+	return modelFor(c.Name(), grid.Fit(m, n, k, p, s, c.delta()), m, n, k, p, s)
+}
+
+// modelFor evaluates the analytic model on an already-fitted grid, so
+// Plan derives its model without fitting a second time.
+func modelFor(name string, g grid.Grid, m, n, k, p, s int) algo.Model {
 	dm, dn, dk := g.LocalDims(m, n, k)
 	step := stepSize(s, dm, dn)
 	rounds := float64(ceilDiv(dk, step))
@@ -227,7 +327,7 @@ func (c *COSMA) Model(m, n, k, p, s int) algo.Model {
 	}
 	avg := g.ModelVolume(m, n, k) * float64(g.Ranks()) / float64(p)
 	return algo.Model{
-		Name:     c.Name(),
+		Name:     name,
 		Grid:     g.String(),
 		Used:     g.Ranks(),
 		AvgRecv:  avg,

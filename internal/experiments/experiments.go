@@ -16,7 +16,7 @@ import (
 	"math/rand"
 
 	"cosma/internal/algo"
-	"cosma/internal/baselines"
+	_ "cosma/internal/baselines" // registers the baseline algorithms
 	"cosma/internal/bound"
 	"cosma/internal/core"
 	"cosma/internal/costmodel"
@@ -33,14 +33,11 @@ import (
 func Runners() []algo.Runner { return RunnersNet(nil) }
 
 // RunnersNet returns the comparison algorithms configured to execute on
-// the given network (nil for the counting transport).
+// the given network (nil for the counting transport), drawn from the
+// name-keyed algorithm registry (importing core and baselines registers
+// them).
 func RunnersNet(net *machine.NetworkParams) []algo.Runner {
-	return []algo.Runner{
-		&core.COSMA{Network: net},
-		baselines.SUMMA{Network: net},
-		baselines.C25D{Network: net},
-		baselines.CARMA{Network: net},
-	}
+	return algo.Comparison(algo.Config{Network: net})
 }
 
 const wordsToMB = 8.0 / 1e6

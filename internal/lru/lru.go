@@ -1,0 +1,65 @@
+// Package lru provides a small generic least-recently-used cache — the
+// eviction policy behind the engine's plan cache. It does no locking of
+// its own; callers serialize access (the engine holds its mutex across
+// every cache operation anyway to keep hit/miss accounting exact).
+package lru
+
+import "container/list"
+
+// Cache maps K to V, evicting the least recently used entry once more
+// than its capacity are inserted.
+type Cache[K comparable, V any] struct {
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an empty cache holding at most capacity entries
+// (capacity ≥ 1).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the value under k and marks it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts or refreshes k → v, evicting the least recently used
+// entry when the cache is over capacity.
+func (c *Cache[K, V]) Add(k K, v V) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&entry[K, V]{key: k, val: v})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int { return c.order.Len() }
+
+// Cap returns the cache capacity.
+func (c *Cache[K, V]) Cap() int { return c.capacity }

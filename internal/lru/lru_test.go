@@ -1,0 +1,47 @@
+package lru
+
+import "testing"
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[int, string](2)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 missing before eviction")
+	}
+	c.Add(3, "c") // evicts 2, the least recently used
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	for _, k := range []int{1, 3} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%d should survive", k)
+		}
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Fatalf("len %d cap %d", c.Len(), c.Cap())
+	}
+}
+
+func TestAddRefreshesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("x", 1)
+	c.Add("y", 2)
+	c.Add("x", 10) // refresh, not insert
+	c.Add("z", 3)  // evicts y
+	if v, ok := c.Get("x"); !ok || v != 10 {
+		t.Fatalf("x = %d, %v", v, ok)
+	}
+	if _, ok := c.Get("y"); ok {
+		t.Fatal("y should have been evicted")
+	}
+}
+
+func TestDegenerateCapacity(t *testing.T) {
+	c := New[int, int](0) // clamps to 1
+	c.Add(1, 1)
+	c.Add(2, 2)
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}

@@ -17,6 +17,8 @@
 package machine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -44,6 +46,10 @@ func (c Counters) Messages() int64 { return c.SentMsgs + c.RecvMsgs }
 type Machine struct {
 	t       Transport
 	barrier *barrier
+	// ctx is the context of the Run in progress (Background between
+	// Runs). It is written before the rank goroutines start and read by
+	// them through Rank.Err, so it needs no lock.
+	ctx context.Context
 }
 
 // New returns a machine with p ranks on the counting transport.
@@ -74,7 +80,7 @@ func NewWithNetwork(p int, net *NetworkParams) *Machine {
 // backend.
 func NewWithTransport(t Transport) *Machine {
 	checkP(t.P())
-	return &Machine{t: t, barrier: newBarrier(t.P(), t.BarrierSync)}
+	return &Machine{t: t, barrier: newBarrier(t.P(), t.BarrierSync), ctx: context.Background()}
 }
 
 func newCountingTransport(p int, pooled bool) Transport {
@@ -99,8 +105,34 @@ func (m *Machine) Transport() Transport { return m.t }
 // first error (by rank order) is returned. Counters, clocks and barrier
 // poisoning reset at the start of each Run.
 func (m *Machine) Run(program func(r *Rank) error) error {
+	return m.RunCtx(context.Background(), program)
+}
+
+// RunCtx is Run under a context. When ctx is cancelled mid-run the
+// barrier is poisoned and every rank blocked in Recv is woken, so the
+// whole machine unwinds promptly and RunCtx returns ctx.Err(); rank
+// programs additionally poll Rank.Err at their communication-round
+// boundaries so compute-bound ranks notice too. The machine remains
+// reusable afterwards — the next Run resets mailboxes and poisoning.
+func (m *Machine) RunCtx(ctx context.Context, program func(r *Rank) error) error {
 	m.t.Reset()
 	m.barrier.reset()
+	m.ctx = ctx
+	// The cancellation callback must not outlive this Run: a pooled
+	// machine is reused (and Reset) the moment RunCtx returns, and a
+	// straggling poison/Interrupt would sabotage the next run. stop()
+	// does not wait for an in-flight callback, so the callback signals
+	// completion and RunCtx waits for it when it already fired.
+	fired := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		defer close(fired)
+		m.interrupt()
+	})
+	defer func() {
+		if !stop() {
+			<-fired
+		}
+	}()
 	p := m.P()
 	errs := make([]error, p)
 	var wg sync.WaitGroup
@@ -109,22 +141,52 @@ func (m *Machine) Run(program func(r *Rank) error) error {
 		go func(id int) {
 			defer wg.Done()
 			defer func() {
-				if r := recover(); r != nil {
+				switch r := recover().(type) {
+				case nil:
+				case interruptedPanic:
+					errs[id] = fmt.Errorf("machine: rank %d: %w", id, errInterrupted)
+				default:
 					errs[id] = fmt.Errorf("machine: rank %d panicked: %v\n%s", id, r, debug.Stack())
-					// Unblock ranks waiting on this one at a barrier.
-					m.barrier.poison()
+					// Unblock peers parked at a barrier or in a Recv
+					// that this rank will now never satisfy.
+					m.interrupt()
 				}
 			}()
 			errs[id] = program(&Rank{m: m, id: id})
 		}(id)
 	}
 	wg.Wait()
+	m.ctx = context.Background()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// A rank interrupted while parked is collateral of another rank's
+	// failure (or of cancellation, handled above) — report the root
+	// cause, not the interruption.
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, errInterrupted) {
 			return err
 		}
+		if first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
+}
+
+// errInterrupted marks a rank torn out of a blocking Recv by interrupt;
+// it is collateral, never the root cause.
+var errInterrupted = errors.New("interrupted while a peer failed or the run was cancelled")
+
+// interrupt unwinds a run in flight: barrier waiters are poisoned and
+// ranks parked in Recv are woken with a cancellation panic.
+func (m *Machine) interrupt() {
+	m.barrier.poison()
+	m.t.Interrupt()
 }
 
 // Counters returns rank id's traffic from the last Run.
@@ -218,6 +280,12 @@ type Rank struct {
 
 // ID returns this rank's id in [0, P).
 func (r *Rank) ID() int { return r.id }
+
+// Err returns the cancellation status of the context the enclosing
+// RunCtx was started with (nil under plain Run). Rank programs poll it
+// at communication-round boundaries so a cancelled multiplication stops
+// between rounds instead of running to completion.
+func (r *Rank) Err() error { return r.m.ctx.Err() }
 
 // P returns the machine size.
 func (r *Rank) P() int { return r.m.P() }

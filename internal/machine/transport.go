@@ -27,6 +27,11 @@ type Transport interface {
 	// BarrierSync runs once per completed machine barrier, with every
 	// rank parked; timed transports propagate clocks here.
 	BarrierSync()
+	// Interrupt wakes every rank blocked in Recv with a cancellation
+	// panic (recovered by the machine's rank wrapper), so a cancelled
+	// Run terminates instead of deadlocking on a half-finished
+	// schedule. Reset re-arms the transport for the next Run.
+	Interrupt()
 	// Reset clears counters and clocks at the start of a Run.
 	Reset()
 	// Counters returns rank's accumulated traffic.
@@ -91,10 +96,13 @@ func (q *mailQueue) empty() bool { return q.head == len(q.msgs) }
 // postOffice is one rank's set of keyed mailboxes. Replacing the single
 // linear queue of the original machine, lookups are O(1) in the number
 // of pending messages and receivers of different keys never contend on
-// a scan.
+// a scan. closed marks the office interrupted by a cancelled Run:
+// receivers drain what has already arrived and then panic instead of
+// parking forever.
 type postOffice struct {
-	mu    sync.Mutex
-	slots map[mailKey]*mailQueue
+	mu     sync.Mutex
+	slots  map[mailKey]*mailQueue
+	closed bool
 }
 
 func newPostOffice() *postOffice {
@@ -161,13 +169,22 @@ func (t *counting) post(src, dst, tag int, data []float64, owned bool, at float6
 	po.mu.Unlock()
 }
 
-// take blocks until a message under (src, tag) arrives at dst.
+// interruptedPanic is the sentinel a blocked Recv raises when the Run's
+// context is cancelled; the machine's rank wrapper recovers it.
+type interruptedPanic struct{}
+
+// take blocks until a message under (src, tag) arrives at dst, or the
+// office is interrupted by a cancelled Run.
 func (t *counting) take(dst, src, tag int) envelope {
 	po := t.office[dst]
 	po.mu.Lock()
 	q := po.slot(mailKey{src: src, tag: tag})
-	for q.empty() {
+	for q.empty() && !po.closed {
 		q.cond.Wait()
+	}
+	if q.empty() {
+		po.mu.Unlock()
+		panic(interruptedPanic{})
 	}
 	e := q.pop()
 	po.mu.Unlock()
@@ -196,16 +213,39 @@ func (t *counting) Compute(rank int, flops int64) {
 // BarrierSync implements Transport: counting has no clocks to propagate.
 func (t *counting) BarrierSync() {}
 
+// Interrupt implements Transport: it closes every post office and wakes
+// all parked receivers so they can bail out of a cancelled Run.
+func (t *counting) Interrupt() {
+	for _, po := range t.office {
+		po.mu.Lock()
+		po.closed = true
+		for _, q := range po.slots {
+			q.cond.Broadcast()
+		}
+		po.mu.Unlock()
+	}
+}
+
 // Reset implements Transport. Besides the counters, it drains every
-// mailbox: a previous Run that failed mid-schedule may have left
-// undelivered envelopes behind, which must not leak into the next Run.
+// mailbox and clears interruption: a previous Run that failed or was
+// cancelled mid-schedule may have left undelivered envelopes behind,
+// which must not leak into the next Run. The mailboxes themselves (and
+// their condition variables) are retained, so a reused machine's round
+// loop allocates nothing for delivery at steady state.
 func (t *counting) Reset() {
 	for i := range t.count {
 		t.count[i] = Counters{}
 	}
 	for _, po := range t.office {
 		po.mu.Lock()
-		po.slots = make(map[mailKey]*mailQueue)
+		for _, q := range po.slots {
+			for i := range q.msgs {
+				q.msgs[i] = envelope{} // release stale payload references
+			}
+			q.msgs = q.msgs[:0]
+			q.head = 0
+		}
+		po.closed = false
 		po.mu.Unlock()
 	}
 }

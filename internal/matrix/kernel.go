@@ -92,10 +92,3 @@ func checkMulShapes(c, a, b *Dense) {
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -90,9 +90,9 @@ func (d *MMM) GreedyMoves(a, b int) []Move {
 	}
 	var moves []Move
 	for i0 := 0; i0 < d.M; i0 += a {
-		iMax := minInt(i0+a, d.M)
+		iMax := min(i0+a, d.M)
 		for j0 := 0; j0 < d.N; j0 += b {
-			jMax := minInt(j0+b, d.N)
+			jMax := min(j0+b, d.N)
 			for t := 0; t < d.K; t++ {
 				// Load the A column fragment for this k-step.
 				for i := i0; i < iMax; i++ {
@@ -128,17 +128,10 @@ func (d *MMM) GreedyMoves(a, b int) []Move {
 // needs: ab + a + 2 in the general case (see GreedyMoves), ab + a + 1 when
 // k = 1 because no partial-sum chain exists.
 func (d *MMM) GreedyPeakRed(a, b int) int {
-	a = minInt(a, d.M)
-	b = minInt(b, d.N)
+	a = min(a, d.M)
+	b = min(b, d.N)
 	if d.K == 1 {
 		return a*b + a + 1
 	}
 	return a*b + a + 2
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

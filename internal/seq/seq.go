@@ -60,9 +60,9 @@ func MultiplyTiled(a, b *matrix.Dense, s, ta, tb int) *Result {
 	sc := mem.NewArray(m * n)
 
 	for i0 := 0; i0 < m; i0 += ta {
-		iMax := minInt(i0+ta, m)
+		iMax := min(i0+ta, m)
 		for j0 := 0; j0 < n; j0 += tb {
-			jMax := minInt(j0+tb, n)
+			jMax := min(j0+tb, n)
 			// The C tile's partial sums are created in fast memory — no
 			// loads (they begin at zero and are consumed in place, §6.3).
 			for i := i0; i < iMax; i++ {
@@ -106,11 +106,4 @@ func MultiplyTiled(a, b *matrix.Dense, s, ta, tb int) *Result {
 		TileA:  ta,
 		TileB:  tb,
 	}
-}
-
-func minInt(x, y int) int {
-	if x < y {
-		return x
-	}
-	return y
 }

@@ -1,0 +1,126 @@
+package cosma
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"cosma/internal/algo"
+)
+
+// Plan is an immutable compiled multiplication schedule for one problem
+// shape under one engine's options: the fitted processor grid, the
+// round schedule and the analytic model. A Plan performs no grid
+// fitting when executed — that all happened when it was built — and is
+// safe for concurrent use; per-execution state lives in Executors.
+type Plan struct {
+	inner   algo.Plan
+	network *NetworkParams
+
+	// Executor free list. Engine.Exec borrows from here so concurrent
+	// same-shape multiplications each get a machine of their own while
+	// sequential ones keep reusing one.
+	mu   sync.Mutex
+	free []*Executor
+}
+
+// Algorithm returns the display name of the algorithm that produced
+// the plan.
+func (p *Plan) Algorithm() string { return p.inner.Algorithm() }
+
+// Dims returns the (m, n, k) problem shape the plan multiplies.
+func (p *Plan) Dims() (m, n, k int) { return p.inner.Dims() }
+
+// Procs returns the machine size p the plan was fitted for.
+func (p *Plan) Procs() int { return p.inner.Procs() }
+
+// Used returns the number of ranks that perform work.
+func (p *Plan) Used() int { return p.inner.Used() }
+
+// Grid returns the human-readable decomposition.
+func (p *Plan) Grid() string { return p.inner.Grid() }
+
+// Model returns the analytic communication/computation prediction for
+// the planned schedule.
+func (p *Plan) Model() Model { return p.inner.Model() }
+
+// Decomposition returns the §6.3 schedule geometry (grid, local domain,
+// rounds) when the algorithm exposes it — COSMA does; the baselines
+// report false.
+func (p *Plan) Decomposition() (Decomposition, bool) {
+	if d, ok := p.inner.(algo.Decomposed); ok {
+		return d.Decomposition(), true
+	}
+	return Decomposition{}, false
+}
+
+// String implements fmt.Stringer.
+func (p *Plan) String() string {
+	if d, ok := p.Decomposition(); ok {
+		return d.String()
+	}
+	return p.Algorithm() + " " + p.Grid()
+}
+
+// NewExecutor returns a fresh executor for this plan: a pre-built
+// simulated machine and a per-rank scratch arena, both reused across
+// every Exec call, so repeated same-shape multiplications allocate only
+// their outputs. An Executor is not safe for concurrent use — create
+// one per goroutine (Engine.Exec pools them automatically).
+func (p *Plan) NewExecutor() *Executor {
+	return &Executor{plan: p, inner: algo.NewExecutor(p.inner, p.network)}
+}
+
+// acquire borrows a pooled executor, building one on first use.
+func (p *Plan) acquire() *Executor {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return e
+	}
+	p.mu.Unlock()
+	return p.NewExecutor()
+}
+
+// release returns a borrowed executor to the pool. The pool is capped
+// at GOMAXPROCS: each executor retains a whole simulated machine plus
+// per-rank scratch, and keeping more than can ever run concurrently
+// would pin a past burst's memory forever — beyond the cap the executor
+// is dropped for the GC instead.
+func (p *Plan) release(e *Executor) {
+	p.mu.Lock()
+	if len(p.free) < runtime.GOMAXPROCS(0) {
+		p.free = append(p.free, e)
+	}
+	p.mu.Unlock()
+}
+
+// exec runs one multiplication on a pooled executor.
+func (p *Plan) exec(ctx context.Context, a, b *Matrix) (*Matrix, *Report, error) {
+	e := p.acquire()
+	defer p.release(e)
+	return e.Exec(ctx, a, b)
+}
+
+// Executor executes one Plan repeatedly. It owns a pre-built machine
+// and pooled per-rank buffers that every Exec reuses, so the warm path
+// performs zero grid-fitting work and allocates strictly less than the
+// one-shot Multiply. Not safe for concurrent use.
+type Executor struct {
+	plan  *Plan
+	inner *algo.Executor
+}
+
+// Plan returns the plan this executor drives.
+func (e *Executor) Plan() *Plan { return e.plan }
+
+// Exec multiplies a·b under the executor's plan. The inputs must match
+// the planned shape. Cancelling ctx aborts the run at the next
+// communication-round boundary (ranks parked in Recv or Barrier are
+// woken) and returns ctx.Err(); the executor remains reusable
+// afterwards.
+func (e *Executor) Exec(ctx context.Context, a, b *Matrix) (*Matrix, *Report, error) {
+	return e.inner.Exec(ctx, a, b)
+}
