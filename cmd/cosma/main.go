@@ -7,12 +7,17 @@
 //
 //	cosma -m 512 -n 512 -k 512 -p 16 -S 1048576 [-delta 0.03]
 //	      [-algo cosma|summa|2.5d|carma|cannon|all]
-//	      [-network pizdaint|ethernet|sharedmem]
+//	      [-network pizdaint|ethernet|sharedmem] [-calibrate]
+//	      [-threads n]
 //
 // The algorithm is resolved through the name-keyed registry (aliases
 // like "scalapack" and "ctf" work too); -algo list prints it. With
 // -network the run executes on the timed α-β-γ transport and the table
-// gains predicted and critical-path runtime columns.
+// gains predicted and critical-path runtime columns; adding -calibrate
+// first measures the local packed kernel and replaces the preset's γ
+// with the measured seconds-per-flop, so the predictions charge compute
+// at the rate this machine actually achieves. -threads bounds each
+// rank's local GEMM worker pool (0 = GOMAXPROCS-aware default).
 package main
 
 import (
@@ -39,6 +44,8 @@ func main() {
 	algoName := flag.String("algo", "cosma", "algorithm registry name or alias, \"all\", or \"list\"")
 	seed := flag.Int64("seed", 1, "random seed for the input matrices")
 	netName := flag.String("network", "", "timed α-β-γ preset: pizdaint, ethernet or sharedmem (empty counts only)")
+	calibrate := flag.Bool("calibrate", false, "measure the local kernel and substitute its γ into -network")
+	threads := flag.Int("threads", 0, "per-rank GEMM kernel workers (0 = GOMAXPROCS-aware)")
 	flag.Parse()
 
 	if *algoName == "list" {
@@ -54,13 +61,21 @@ func main() {
 
 	opts := []cosma.Option{
 		cosma.WithProcs(*p), cosma.WithMemory(*s), cosma.WithDelta(*delta),
+		cosma.WithKernelThreads(*threads),
 	}
 	if *netName != "" {
 		net, err := cosma.NetworkByName(*netName)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *calibrate {
+			cal := cosma.Calibrate(0, *threads)
+			fmt.Println(cal)
+			net = net.WithGamma(cal.Gamma)
+		}
 		opts = append(opts, cosma.WithNetwork(net))
+	} else if *calibrate {
+		log.Fatal("-calibrate needs -network: the measured γ replaces the preset's compute constant")
 	}
 
 	names := []string{*algoName}

@@ -2,13 +2,16 @@
 // simulated substrate. With no arguments it prints everything; pass
 // subcommand names to select individual experiments:
 //
-//	experiments [-network pizdaint|ethernet|sharedmem]
+//	experiments [-network pizdaint|ethernet|sharedmem] [-calibrate]
 //	            [table1] [fig3] [seqio] [fig5] [table3] [fig6] [fig7]
 //	            [fig8] [fig9] [fig10] [fig11] [fig12] [fig13] [table4]
 //	            [unfavorable] [validate] [timevolume] [algos]
 //
 // The -network flag selects the α-β-γ preset the timed-transport
-// experiments (timevolume) execute on. The comparison set is drawn from
+// experiments (timevolume) execute on; -calibrate first measures the
+// local packed kernel (matrix.Calibrate) and substitutes the measured
+// γ into the preset, so the reported compute times are calibrated to
+// this machine rather than assumed. The comparison set is drawn from
 // the name-keyed algorithm registry; "algos" lists it.
 package main
 
@@ -21,6 +24,7 @@ import (
 	"cosma/internal/algo"
 	"cosma/internal/experiments"
 	"cosma/internal/machine"
+	"cosma/internal/matrix"
 	"cosma/internal/report"
 	"cosma/internal/workload"
 )
@@ -30,10 +34,17 @@ func main() {
 	log.SetPrefix("experiments: ")
 	netName := flag.String("network", "pizdaint",
 		"α-β-γ network preset for timed experiments: pizdaint, ethernet or sharedmem")
+	calibrate := flag.Bool("calibrate", false,
+		"measure the local packed kernel and substitute its γ into the network preset")
 	flag.Parse()
 	network, err := machine.NetworkByName(*netName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *calibrate {
+		cal := matrix.Calibrate(0, 0)
+		fmt.Println(cal)
+		network = network.WithGamma(cal.Gamma)
 	}
 	all := []string{
 		"table1", "fig3", "seqio", "fig5", "table3", "fig6", "fig7",

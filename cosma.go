@@ -83,6 +83,21 @@ func SharedMemoryNetwork() NetworkParams { return machine.SharedMemory() }
 // "sharedmem"), for command-line flags.
 func NetworkByName(name string) (NetworkParams, error) { return machine.NetworkByName(name) }
 
+// Calibration is the measured local-compute profile of this machine:
+// the packed kernel's sustained Gflop/s and its reciprocal γ in seconds
+// per flop.
+type Calibration = matrix.Calibration
+
+// Calibrate measures the packed local GEMM kernel on this machine
+// (n <= 0 picks the default problem size, threads <= 0 means GOMAXPROCS)
+// and returns the measured γ. Substitute it into a network preset to
+// make predictions charge compute at the achieved, not assumed, rate:
+//
+//	cal := cosma.Calibrate(0, 0)
+//	eng, _ := cosma.NewEngine(cosma.WithProcs(p),
+//	    cosma.WithNetwork(cosma.PizDaintNetwork().WithGamma(cal.Gamma)))
+func Calibrate(n, threads int) Calibration { return matrix.Calibrate(n, threads) }
+
 // NewMatrix returns a zeroed r×c matrix.
 func NewMatrix(r, c int) *Matrix { return matrix.New(r, c) }
 

@@ -1,0 +1,46 @@
+package cosma
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks verifies every relative link in the user-facing
+// markdown (README, the architecture doc, the change log) points at a
+// file that exists, so the docs cannot silently rot as files move.
+// External (http) and intra-page (#anchor) links are skipped — CI has
+// no network.
+func TestMarkdownLinks(t *testing.T) {
+	docs := []string{"README.md", "docs/ARCHITECTURE.md", "CHANGES.md"}
+	linkRE := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		checked := 0
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			path := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s: broken link %q (%v)", doc, m[1], err)
+			}
+			checked++
+		}
+		t.Logf("%s: %d relative links checked", doc, checked)
+	}
+}

@@ -58,13 +58,14 @@ type planKey struct {
 }
 
 type engineConfig struct {
-	procs     int
-	memory    int
-	delta     float64
-	network   *NetworkParams
-	algorithm string
-	cacheSize int
-	err       error // first option error, surfaced by NewEngine
+	procs         int
+	memory        int
+	delta         float64
+	network       *NetworkParams
+	algorithm     string
+	cacheSize     int
+	kernelThreads int
+	err           error // first option error, surfaced by NewEngine
 }
 
 // Option configures an Engine.
@@ -120,6 +121,22 @@ func WithNetwork(net NetworkParams) Option {
 // see AlgorithmNames. Unknown names error at NewEngine.
 func WithAlgorithm(name string) Option {
 	return func(c *engineConfig) { c.algorithm = name }
+}
+
+// WithKernelThreads bounds the worker pool of each rank's local packed
+// GEMM kernel, so a single rank's multiply can use idle cores. Zero
+// (the default) is GOMAXPROCS-aware: every executor grants each
+// working rank the cores left over once all ranks run concurrently
+// (max(1, GOMAXPROCS / ranks used)). Threads beyond the row count of
+// the local tile are never spawned.
+func WithKernelThreads(n int) Option {
+	return func(c *engineConfig) {
+		if n < 0 {
+			c.err = fmt.Errorf("cosma: kernel threads %d must be ≥ 0", n)
+			return
+		}
+		c.kernelThreads = n
+	}
 }
 
 // WithPlanCacheSize bounds the LRU plan cache to n distinct shapes
@@ -178,6 +195,10 @@ func (e *Engine) Memory() int { return e.cfg.memory }
 // Delta returns the normalized grid-fitting tolerance δ.
 func (e *Engine) Delta() float64 { return e.cfg.delta }
 
+// KernelThreads returns the configured per-rank GEMM worker bound; 0
+// means the GOMAXPROCS-aware default is resolved per executor.
+func (e *Engine) KernelThreads() int { return e.cfg.kernelThreads }
+
 // Network returns the engine's α-β-γ parameters and true when runs
 // execute on the timed transport.
 func (e *Engine) Network() (NetworkParams, bool) {
@@ -221,7 +242,7 @@ func (e *Engine) Plan(ctx context.Context, m, n, k int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{inner: inner, network: e.cfg.network}
+	p := &Plan{inner: inner, network: e.cfg.network, kernelThreads: e.cfg.kernelThreads}
 	e.plans.Add(key, p)
 	e.misses++
 	return p, nil

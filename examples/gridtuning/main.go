@@ -6,7 +6,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"cosma"
 	"cosma/internal/grid"
@@ -25,11 +27,22 @@ func main() {
 	}
 	fmt.Println(t.String())
 
+	// The same inspection through the engine API: Plan compiles (and
+	// caches) the schedule, Decomposition exposes its geometry.
+	ctx := context.Background()
 	t2 := report.NewTable("§9: adversarial p — one core more",
 		"p", "plan", "ranks used")
 	for _, p := range []int{9216, 9217} {
-		plan := cosma.Decompose(16384, 16384, 16384, p, 1<<27, 0)
-		t2.AddRow(p, plan.String(), plan.RanksUsed)
+		eng, err := cosma.NewEngine(cosma.WithProcs(p), cosma.WithMemory(1<<27))
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := eng.Plan(ctx, 16384, 16384, 16384)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, _ := plan.Decomposition()
+		t2.AddRow(p, d.String(), d.RanksUsed)
 	}
 	fmt.Println(t2.String())
 	fmt.Println("COSMA's decomposition is identical for both counts: the extra core is")

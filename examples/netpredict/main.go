@@ -6,12 +6,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"cosma"
 )
 
 func main() {
+	ctx := context.Background()
 	a := cosma.RandomMatrix(256, 256, 1)
 	b := cosma.RandomMatrix(256, 256, 2)
 
@@ -20,8 +22,12 @@ func main() {
 		cosma.EthernetNetwork(),
 		cosma.SharedMemoryNetwork(),
 	} {
-		net := net
-		_, rep, err := cosma.Multiply(a, b, cosma.Options{Procs: 16, Memory: 1 << 14, Network: &net})
+		eng, err := cosma.NewEngine(
+			cosma.WithProcs(16), cosma.WithMemory(1<<14), cosma.WithNetwork(net))
+		if err != nil {
+			panic(err)
+		}
+		_, rep, err := eng.Exec(ctx, a, b)
 		if err != nil {
 			panic(err)
 		}

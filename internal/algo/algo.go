@@ -1,6 +1,3 @@
-// Package algo defines the common result and model types shared by the
-// distributed MMM implementations (COSMA and the baselines), so the
-// benchmark harness can treat them uniformly.
 package algo
 
 import (

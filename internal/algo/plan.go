@@ -3,6 +3,7 @@ package algo
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"cosma/internal/machine"
 	"cosma/internal/matrix"
@@ -84,12 +85,29 @@ type Executor struct {
 
 // NewExecutor builds an executor for p: the machine (on the given
 // network, nil for the counting transport) and the scratch arena are
-// allocated once here and reused by every Exec.
-func NewExecutor(p Plan, net *machine.NetworkParams) *Executor {
+// allocated once here and reused by every Exec. kernelThreads bounds
+// the worker pool of each rank's local GEMM kernel; 0 resolves
+// GOMAXPROCS-aware — the cores left over after every working rank has
+// one (max(1, GOMAXPROCS / ranks used)), so a single-rank plan on an
+// idle machine multiplies with every core while a fully-populated
+// simulation stays one-goroutine-per-rank.
+func NewExecutor(p Plan, net *machine.NetworkParams, kernelThreads int) *Executor {
+	if kernelThreads <= 0 {
+		used := p.Used()
+		if used < 1 {
+			used = 1
+		}
+		kernelThreads = runtime.GOMAXPROCS(0) / used
+		if kernelThreads < 1 {
+			kernelThreads = 1
+		}
+	}
+	scratch := NewArena(p.Procs())
+	scratch.kernelThreads = kernelThreads
 	return &Executor{
 		plan:    p,
 		mach:    machine.NewWithNetwork(p.Procs(), net),
-		scratch: NewArena(p.Procs()),
+		scratch: scratch,
 	}
 }
 
@@ -129,28 +147,52 @@ func RunPlanner(pl Planner, net *machine.NetworkParams, a, b *matrix.Dense, p, s
 	if err != nil {
 		return nil, nil, err
 	}
-	return NewExecutor(plan, net).Exec(context.Background(), a, b)
+	return NewExecutor(plan, net, 0).Exec(context.Background(), a, b)
 }
 
-// Arena is a set of per-rank scratch matrices reused across executions.
-// A deterministic schedule requests the same sequence of shapes on
-// every execution, so after the first run every request is served from
-// the buffers of the previous one and the steady state allocates
-// nothing. Each rank touches only its own slots, so concurrent rank
-// programs need no locking; Reset must be called between executions
-// with no rank program running.
+// Arena is a set of per-rank scratch matrices and GEMM kernels reused
+// across executions. A deterministic schedule requests the same
+// sequence of shapes on every execution, so after the first run every
+// request is served from the buffers of the previous one and the steady
+// state allocates nothing — including the kernels' packing buffers.
+// Each rank touches only its own slots, so concurrent rank programs
+// need no locking; Reset must be called between executions with no rank
+// program running.
 type Arena struct {
 	ranks []rankScratch
+	// kernelThreads bounds each rank kernel's worker pool; ≤ 0 means
+	// serial. NewExecutor resolves the GOMAXPROCS-aware default here.
+	kernelThreads int
 }
 
 type rankScratch struct {
 	mats []*matrix.Dense
 	next int
+	kern *matrix.Kernel
 }
 
-// NewArena returns an empty arena for p ranks.
+// NewArena returns an empty arena for p ranks with serial kernels.
 func NewArena(p int) *Arena {
 	return &Arena{ranks: make([]rankScratch, p)}
+}
+
+// Kernel returns rank's packed GEMM kernel, creating it on first use
+// with the arena's thread bound. The kernel — and, crucially, its pack
+// buffers — survives Reset, so packing is allocation-free across
+// executions. A nil arena returns a fresh serial kernel.
+func (a *Arena) Kernel(rank int) *matrix.Kernel {
+	if a == nil {
+		return matrix.NewKernel(1)
+	}
+	rs := &a.ranks[rank]
+	if rs.kern == nil {
+		t := a.kernelThreads
+		if t < 1 {
+			t = 1
+		}
+		rs.kern = matrix.NewKernel(t)
+	}
+	return rs.kern
 }
 
 // Reset recycles every buffer for the next execution.

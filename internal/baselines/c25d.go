@@ -179,6 +179,7 @@ func (pl *c25dPlan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *matr
 	colGroup := comm.NewGroup(r, colIDs)
 
 	cTile := scratch.Matrix(r.ID(), dm, dn)
+	kern := scratch.Kernel(r.ID())
 	dmMax, dnMax := ceilDiv(m, pr), ceilDiv(n, pc)
 	step := panelWidth(sMem, dmMax, dnMax)
 	for _, seg := range kSegments(slab.Len(), pr, pc, step) {
@@ -200,7 +201,7 @@ func (pl *c25dPlan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *matr
 		}
 		bChunk = colGroup.Bcast(bOwner, bChunk, c25TagB+seg.Lo)
 
-		matrix.Mul(cTile,
+		kern.Mul(cTile,
 			matrix.FromSlice(dm, seg.Len(), aChunk),
 			matrix.FromSlice(seg.Len(), dn, bChunk))
 		r.Compute(matrix.MulFlops(dm, dn, seg.Len()))

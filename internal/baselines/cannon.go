@@ -92,11 +92,12 @@ func (pl *cannonPlan) Execute(ctx context.Context, mach *machine.Machine, scratc
 		}
 
 		cTile := scratch.Matrix(r.ID(), dm, dn)
+		kern := scratch.Kernel(r.ID())
 		for t := 0; t < q; t++ {
 			if err := r.Err(); err != nil {
 				return err
 			}
-			matrix.Mul(cTile,
+			kern.Mul(cTile,
 				matrix.FromSlice(dm, dk, myA),
 				matrix.FromSlice(dk, dn, myB))
 			r.Compute(matrix.MulFlops(dm, dn, dk))

@@ -95,7 +95,7 @@ func (pl *carmaPlan) Execute(ctx context.Context, mach *machine.Machine, scratch
 			aLoc = scratch.Clone(r.ID(), a.View(ab.Lo, 0, ab.Len(), k))
 			bLoc = scratch.Clone(r.ID(), b.View(bb.Lo, 0, bb.Len(), n))
 		}
-		pieces, err := carmaSolve(r, team, aLoc, bLoc, m, n, k, 1)
+		pieces, err := carmaSolve(r, scratch.Kernel(r.ID()), team, aLoc, bLoc, m, n, k, 1)
 		if err != nil {
 			return err
 		}
@@ -126,7 +126,7 @@ func (pl *carmaPlan) Execute(ctx context.Context, mach *machine.Machine, scratch
 // data. node identifies the tree position for tag derivation.
 // Cancellation is polled once per node — the recursion's analogue of a
 // communication-round boundary.
-func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, kr, node int) ([]carmaPiece, error) {
+func carmaSolve(r *machine.Rank, kern *matrix.Kernel, team []int, aLoc, bLoc *matrix.Dense, mr, nr, kr, node int) ([]carmaPiece, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -137,7 +137,7 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 		var cLoc *matrix.Dense
 		if team[0] == r.ID() {
 			cLoc = matrix.New(mr, nr)
-			matrix.Mul(cLoc, aLoc, bLoc)
+			kern.Mul(cLoc, aLoc, bLoc)
 			r.Compute(matrix.MulFlops(mr, nr, kr))
 		}
 		return []carmaPiece{{cols: nr, dist: layout.RowDist{Rows: mr, Team: team}, local: cLoc}}, nil
@@ -153,11 +153,11 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 		a2 := transferTo(r, aDist, aLoc, layout.Range{Lo: mh, Hi: mr}, layout.Range{Lo: 0, Hi: kr}, team2, tag+1)
 		b1 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: 0, Hi: nr}, team1, tag+2)
 		b2 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: 0, Hi: nr}, team2, tag+3)
-		p1, err := carmaSolve(r, team1, a1, b1, mh, nr, kr, 2*node)
+		p1, err := carmaSolve(r, kern, team1, a1, b1, mh, nr, kr, 2*node)
 		if err != nil {
 			return nil, err
 		}
-		p2, err := carmaSolve(r, team2, a2, b2, mr-mh, nr, kr, 2*node+1)
+		p2, err := carmaSolve(r, kern, team2, a2, b2, mr-mh, nr, kr, 2*node+1)
 		if err != nil {
 			return nil, err
 		}
@@ -172,11 +172,11 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 		a2 := transferTo(r, aDist, aLoc, layout.Range{Lo: 0, Hi: mr}, layout.Range{Lo: 0, Hi: kr}, team2, tag+1)
 		b1 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: 0, Hi: nh}, team1, tag+2)
 		b2 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kr}, layout.Range{Lo: nh, Hi: nr}, team2, tag+3)
-		p1, err := carmaSolve(r, team1, a1, b1, mr, nh, kr, 2*node)
+		p1, err := carmaSolve(r, kern, team1, a1, b1, mr, nh, kr, 2*node)
 		if err != nil {
 			return nil, err
 		}
-		p2, err := carmaSolve(r, team2, a2, b2, mr, nr-nh, kr, 2*node+1)
+		p2, err := carmaSolve(r, kern, team2, a2, b2, mr, nr-nh, kr, 2*node+1)
 		if err != nil {
 			return nil, err
 		}
@@ -191,11 +191,11 @@ func carmaSolve(r *machine.Rank, team []int, aLoc, bLoc *matrix.Dense, mr, nr, k
 		a2 := transferTo(r, aDist, aLoc, layout.Range{Lo: 0, Hi: mr}, layout.Range{Lo: kh, Hi: kr}, team2, tag+1)
 		b1 := transferTo(r, bDist, bLoc, layout.Range{Lo: 0, Hi: kh}, layout.Range{Lo: 0, Hi: nr}, team1, tag+2)
 		b2 := transferTo(r, bDist, bLoc, layout.Range{Lo: kh, Hi: kr}, layout.Range{Lo: 0, Hi: nr}, team2, tag+3)
-		p1, err := carmaSolve(r, team1, a1, b1, mr, nr, kh, 2*node)
+		p1, err := carmaSolve(r, kern, team1, a1, b1, mr, nr, kh, 2*node)
 		if err != nil {
 			return nil, err
 		}
-		p2, err := carmaSolve(r, team2, a2, b2, mr, nr, kr-kh, 2*node+1)
+		p2, err := carmaSolve(r, kern, team2, a2, b2, mr, nr, kr-kh, 2*node+1)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,21 @@
+// Package baselines implements the state-of-the-art algorithms the
+// paper compares against (§2.4, §9):
+//
+//   - SUMMA on a 2D grid (summa.go) — the decomposition ScaLAPACK
+//     implements,
+//   - the 2.5D decomposition of Solomonik and Demmel (c25d.go) — what
+//     CTF implements,
+//   - Cannon's algorithm (cannon.go) — the classic 2D reference,
+//     registered but outside the paper's comparison set,
+//   - CARMA (carma.go) — the recursive split-largest-dimension
+//     decomposition of Demmel et al.
+//
+// Each algorithm is an algo.Planner/algo.Plan pair: planning fits its
+// grid once per shape, execution runs on the simulated machine with
+// real data movement through the §7.2 tree collectives, and the local
+// tile multiplications go through the per-rank packed GEMM kernel
+// drawn from the executor's Arena. Every baseline also provides an
+// analytic model derived from the same decomposition code, so measured
+// and predicted traffic are cross-checked at small scale and the model
+// trusted at paper scale.
+package baselines

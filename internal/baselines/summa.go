@@ -1,15 +1,3 @@
-// Package baselines implements the three state-of-the-art algorithms the
-// paper compares against (§2.4, §9):
-//
-//   - SUMMA on a 2D grid — the decomposition ScaLAPACK implements,
-//   - the 2.5D decomposition of Solomonik and Demmel — what CTF implements,
-//   - Cannon's algorithm — the classic 2D reference,
-//   - CARMA — the recursive split-largest-dimension decomposition.
-//
-// Each algorithm runs on the simulated machine with real data movement and
-// provides an analytic model derived from the same decomposition code, so
-// measured and predicted traffic can be cross-checked at small scale and
-// the model trusted at paper scale.
 package baselines
 
 import (
@@ -180,6 +168,7 @@ func (pl *summaPlan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *mat
 	colGroup := comm.NewGroup(r, colIDs)
 
 	cTile := scratch.Matrix(r.ID(), dm, dn)
+	kern := scratch.Kernel(r.ID())
 
 	for _, seg := range pl.segs {
 		if err := r.Err(); err != nil {
@@ -200,7 +189,7 @@ func (pl *summaPlan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *mat
 		}
 		bChunk = colGroup.Bcast(bOwner, bChunk, sumTagB+seg.Lo)
 
-		matrix.Mul(cTile,
+		kern.Mul(cTile,
 			matrix.FromSlice(dm, seg.Len(), aChunk),
 			matrix.FromSlice(seg.Len(), dn, bChunk))
 		r.Compute(matrix.MulFlops(dm, dn, seg.Len()))

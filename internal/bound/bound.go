@@ -1,11 +1,3 @@
-// Package bound implements the closed-form I/O results of the paper:
-// the sequential lower bound (Theorem 1), the parallel lower bound
-// (Theorem 2), the optimal greedy-schedule tile sizes (Eq. 27/28), the
-// optimal parallel local-domain dimensions (Eq. 32), and the
-// computational-intensity machinery of Lemma 4.
-//
-// All sizes are in words (one matrix element = one word), matching the
-// paper's use of Hong and Kung's S for fast-memory capacity.
 package bound
 
 import (

@@ -1,0 +1,15 @@
+// Package bound implements the closed-form I/O results of the paper:
+// the sequential lower bound 2mnk/√S + mn (Theorem 1), the parallel
+// per-processor bound min{2mnk/(p√S) + S, 3(mnk/p)^(2/3)} (Theorem 2),
+// the optimal greedy-schedule tile sizes (Eq. 27/28), the optimal
+// parallel local-domain dimensions [a×a×b] (Eq. 32), and the
+// computational-intensity machinery of Lemma 4.
+//
+// SequentialGap returns the attainability factor √S/(√(S+1)−1) that
+// separates the executable Listing 1 schedule (internal/seq) from
+// Theorem 1; the experiment suite asserts measured I/O lands inside
+// it.
+//
+// All sizes are in words (one matrix element = one word), matching the
+// paper's use of Hong and Kung's S for fast-memory capacity.
+package bound

@@ -1,9 +1,3 @@
-// Package comm provides group collectives over machine ranks: the binary
-// broadcast and reduction trees of §7.2, built from the known processor
-// grid and communication pattern rather than a generic runtime. All
-// algorithms in this repository move matrix panels exclusively through
-// these collectives and point-to-point shifts, so their counted traffic is
-// the tree traffic.
 package comm
 
 import (

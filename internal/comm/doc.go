@@ -1,0 +1,12 @@
+// Package comm provides group collectives over machine ranks: the
+// binary broadcast and reduction trees of §7.2, built from the known
+// processor grid and communication pattern rather than a generic
+// runtime.
+//
+// All algorithms in this repository move matrix panels exclusively
+// through these collectives and point-to-point shifts, so their
+// counted traffic is the tree traffic; TreeDepth feeds the same tree
+// shape into the analytic latency models. The reduction ascends with
+// zero-copy loaned buffers from the machine pool, which is what keeps
+// the steady-state round loop allocation-free.
+package comm

@@ -1,18 +1,3 @@
-// Package core implements COSMA (Algorithm 1): the parallel schedule
-// obtained by parallelizing the near-I/O-optimal sequential schedule.
-//
-// The decomposition is bottom-up (§3): the optimal local domain [a×a×b]
-// comes from Eq. 32, the processor grid from the §7.1 fitting step that
-// may idle up to δ·p ranks, and execution proceeds in latency-minimizing
-// rounds of s = ⌊(S−a²)/(2a)⌋ outer products (Algorithm 1 line 6), with
-// inputs broadcast along grid rows/columns from the blocked data layout
-// (§7.6) and partial C results reduced along the k fibers.
-//
-// The work splits into two phases. Plan compiles a problem shape into an
-// immutable schedule — the fitted grid, the per-slab round segments and
-// the analytic model — and Execute replays that schedule against matrix
-// values on a machine, so repeated same-shape multiplications fit the
-// grid exactly once.
 package core
 
 import (
@@ -205,6 +190,7 @@ func (pl *plan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *matrix.D
 	myB := scratch.Clone(r.ID(), b.View(slab.Lo+bParts[im].Lo, cols.Lo, bParts[im].Len(), dn))
 
 	cTile := scratch.Matrix(r.ID(), dm, dn)
+	kern := scratch.Kernel(r.ID())
 
 	// Walk the slab over the precomputed round segments — the union
 	// breakpoints of the A and B ownership partitions, sub-chunked to
@@ -234,7 +220,7 @@ func (pl *plan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *matrix.D
 		}
 		bChunk = rowGroup.Bcast(bOwner, bChunk, tagB+seg.Lo)
 
-		matrix.Mul(cTile,
+		kern.Mul(cTile,
 			matrix.FromSlice(dm, seg.Len(), aChunk),
 			matrix.FromSlice(seg.Len(), dn, bChunk))
 		r.Compute(matrix.MulFlops(dm, dn, seg.Len()))

@@ -1,0 +1,19 @@
+// Package core implements COSMA (Algorithm 1): the parallel schedule
+// obtained by parallelizing the near-I/O-optimal sequential schedule.
+//
+// The decomposition is bottom-up (§3): the optimal local domain [a×a×b]
+// comes from Eq. 32, the processor grid from the §7.1 fitting step that
+// may idle up to δ·p ranks, and execution proceeds in
+// latency-minimizing rounds of s = ⌊(S−a²)/(2a)⌋ outer products
+// (Algorithm 1 line 6), with inputs broadcast along grid rows/columns
+// from the blocked data layout (§7.6) and partial C results reduced
+// along the k fibers.
+//
+// The work splits into two phases. Plan compiles a problem shape into
+// an immutable schedule — the fitted grid, the per-slab round segments
+// and the analytic model — and Execute replays that schedule against
+// matrix values on a machine, so repeated same-shape multiplications
+// fit the grid exactly once. Per-round tile updates run on the packed
+// register-blocked GEMM kernel each rank draws from the executor's
+// Arena (internal/matrix).
+package core

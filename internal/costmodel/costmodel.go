@@ -1,10 +1,3 @@
-// Package costmodel evaluates the closed-form communication and latency
-// costs of Table 3 for the 2D, 2.5D, recursive and COSMA decompositions,
-// in the general case and in the paper's two special cases (square
-// matrices with limited memory; tall matrices with extra memory). These
-// formulas are the paper's analysis; the structural models in
-// internal/core and internal/baselines are derived from the executable
-// decompositions and are cross-checked against these forms in tests.
 package costmodel
 
 import (
@@ -119,6 +112,17 @@ func COSMA(p Params) Costs {
 		l *= lg
 	}
 	return Costs{Algorithm: "COSMA", Q: q, L: l}
+}
+
+// TimeUnder converts a Table 3 row into predicted seconds under the
+// α-β-γ cost surface of §2.3: γ seconds per flop on the 2mnk/p useful
+// work, β per word on the row's I/O cost Q and α per message on its
+// latency cost L. Passing a measured γ (matrix.Calibrate) makes the
+// closed-form rows comparable with the calibrated structural models.
+func (c Costs) TimeUnder(p Params, alpha, beta, gamma float64) float64 {
+	p.validate()
+	flops := 2 * p.mnk() / float64(p.P)
+	return gamma*flops + beta*c.Q + alpha*c.L
 }
 
 // All evaluates every Table 3 row for the given parameters.

@@ -1,0 +1,27 @@
+package costmodel
+
+import "testing"
+
+func TestTimeUnder(t *testing.T) {
+	p := Params{M: 1024, N: 1024, K: 1024, P: 16, S: 1 << 18}
+	c := COSMA(p)
+	const alpha, beta = 1.5e-6, 1 / 3.6e7
+	gammaAssumed := 1 / 36.8e9 // Piz Daint peak
+	gammaMeasured := 1 / 3.4e9 // a Go-kernel calibration
+
+	tAssumed := c.TimeUnder(p, alpha, beta, gammaAssumed)
+	tMeasured := c.TimeUnder(p, alpha, beta, gammaMeasured)
+	if tAssumed <= 0 || tMeasured <= 0 {
+		t.Fatalf("non-positive times %g, %g", tAssumed, tMeasured)
+	}
+	if tMeasured <= tAssumed {
+		t.Fatal("a slower measured γ must raise the predicted time")
+	}
+	// The gap is exactly the compute term's change: Q and L are fixed
+	// by the decomposition, γ only scales 2mnk/p.
+	flops := 2.0 * 1024 * 1024 * 1024 / 16 // 2mnk/p
+	want := flops * (gammaMeasured - gammaAssumed)
+	if gap := tMeasured - tAssumed; gap < want*0.999 || gap > want*1.001 {
+		t.Errorf("gap %g, want %g", gap, want)
+	}
+}

@@ -1,0 +1,12 @@
+// Package grid provides processor grids for parallel MMM schedules and
+// the grid-fitting optimization of §7.1: choosing a [pm × pn × pk]
+// grid that may leave up to a fraction δ of the p available ranks idle
+// when doing so reduces communication (Figure 5's 65-rank example, and
+// the §9 adversarial p = 9217 case).
+//
+// Fit is deterministic and cheap relative to execution; the engine
+// layer caches its results per shape, so a long-running process fits
+// each distinct problem exactly once. Grid also derives the blocked
+// row/column/fiber rank groups the collectives operate over and the
+// per-rank model volume the analytic predictions are built from.
+package grid

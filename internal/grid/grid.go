@@ -1,7 +1,3 @@
-// Package grid provides processor grids for parallel MMM schedules and
-// the grid-fitting optimization of §7.1: choosing a [pm × pn × pk] grid
-// that may leave up to a fraction δ of the p available ranks idle when
-// doing so reduces communication (Figure 5's 65-rank example).
 package grid
 
 import (

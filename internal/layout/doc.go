@@ -1,0 +1,10 @@
+// Package layout provides the data-distribution primitives shared by
+// the distributed algorithms: balanced contiguous splits (the blocked
+// layout of §7.6), block-cyclic descriptors compatible with ScaLAPACK
+// (§7.6), and a generic redistribution of row-distributed submatrices
+// used by the recursive (CARMA) algorithm.
+//
+// Range and Split are the vocabulary the round schedules are compiled
+// in: COSMA's plan stores its per-slab round segments as Range lists
+// cut at every ownership boundary of the A and B partitions.
+package layout

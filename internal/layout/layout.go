@@ -1,8 +1,3 @@
-// Package layout provides the data-distribution primitives shared by the
-// distributed algorithms: balanced contiguous splits (the blocked layout
-// of §7.6), block-cyclic descriptors compatible with ScaLAPACK (§7.6),
-// and a generic redistribution of row-distributed submatrices used by the
-// recursive (CARMA) algorithm.
 package layout
 
 import (

@@ -1,0 +1,9 @@
+// Package lru provides a small generic least-recently-used cache — the
+// eviction policy behind the engine's plan cache, keyed there by
+// (algorithm, shape, p, S, δ, network).
+//
+// It does no locking of its own; callers serialize access (the engine
+// holds its mutex across every cache operation anyway to keep hit/miss
+// accounting exact and to guarantee each missed shape is fitted
+// exactly once).
+package lru

@@ -1,7 +1,3 @@
-// Package lru provides a small generic least-recently-used cache — the
-// eviction policy behind the engine's plan cache. It does no locking of
-// its own; callers serialize access (the engine holds its mutex across
-// every cache operation anyway to keep hit/miss accounting exact).
 package lru
 
 import "container/list"

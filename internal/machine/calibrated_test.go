@@ -1,0 +1,38 @@
+package machine
+
+import "testing"
+
+func TestWithGamma(t *testing.T) {
+	base := PizDaintNet()
+	cal := base.WithGamma(base.Gamma / 4)
+	if cal.Gamma != base.Gamma/4 {
+		t.Fatalf("Gamma = %g, want %g", cal.Gamma, base.Gamma/4)
+	}
+	if cal.Alpha != base.Alpha || cal.Beta != base.Beta {
+		t.Fatal("WithGamma must leave α and β untouched")
+	}
+	if cal.Name != "pizdaint+cal" {
+		t.Fatalf("Name = %q, want pizdaint+cal", cal.Name)
+	}
+	// Re-calibrating must not stack tags.
+	if again := cal.WithGamma(cal.Gamma / 2); again.Name != "pizdaint+cal" {
+		t.Fatalf("recalibrated Name = %q, want pizdaint+cal", again.Name)
+	}
+	// The base preset must be unchanged (value semantics).
+	if PizDaintNet().Gamma != base.Gamma {
+		t.Fatal("preset mutated")
+	}
+	// A faster γ lowers the compute-dominated evaluation.
+	if cal.Time(1e9, 100, 10) >= base.Time(1e9, 100, 10) {
+		t.Fatal("calibrated γ did not lower Time")
+	}
+}
+
+func TestWithGammaRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithGamma(0) must panic")
+		}
+	}()
+	PizDaintNet().WithGamma(0)
+}

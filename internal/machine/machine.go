@@ -1,19 +1,3 @@
-// Package machine simulates the paper's distributed machine model (§2.1):
-// p processors, each with a private local memory of S words, exchanging
-// messages over a network. Every rank runs as a goroutine; messages are
-// matched MPI-style on (source, tag) with unbounded eager buffering, so
-// any schedule with matching sends and receives executes deterministically
-// and without artificial deadlock.
-//
-// Rank traffic flows through a pluggable Transport. The default counting
-// transport tallies, per rank, the words and messages sent and received —
-// the horizontal I/O cost Q and latency cost L of §2.3, i.e. what the
-// paper measures with the mpiP profiler. It substitutes for MPI on a real
-// interconnect: communication volume is a property of the schedule, not of
-// the wire, so counting words that cross rank boundaries in-process yields
-// the same per-rank volumes. The timed transport (NewTimed) additionally
-// runs an α-β-γ event clock per rank, turning the same execution into a
-// runtime prediction.
 package machine
 
 import (

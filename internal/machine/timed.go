@@ -1,6 +1,9 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // NetworkParams are the constants of the α-β-γ machine model: a message
 // costs α seconds of latency, every word (8-byte float64) β seconds of
@@ -19,6 +22,22 @@ type NetworkParams struct {
 // no overlap.
 func (n NetworkParams) Time(flops, words, msgs float64) float64 {
 	return n.Gamma*flops + n.Beta*words + n.Alpha*msgs
+}
+
+// WithGamma returns a copy of the network with the compute constant γ
+// replaced — the hook matrix.Calibrate's measured seconds-per-flop is
+// fed through so predictions charge compute at the rate the local
+// kernel actually achieves instead of an assumed peak. The copy is
+// tagged "+cal" so reports show which γ they were computed under.
+func (n NetworkParams) WithGamma(gamma float64) NetworkParams {
+	if gamma <= 0 {
+		panic(fmt.Sprintf("machine: WithGamma(%v) must be > 0", gamma))
+	}
+	n.Gamma = gamma
+	if !strings.HasSuffix(n.Name, "+cal") {
+		n.Name += "+cal"
+	}
+	return n
 }
 
 // PizDaintNet returns Piz-Daint-like constants, matching the perfmodel

@@ -1,0 +1,72 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Calibration is the measured local-compute profile of this machine: the
+// sustained rate of the packed kernel and its reciprocal γ (seconds per
+// flop), the constant the α-β-γ cost surface charges compute with. The
+// paper's predictions assume a tuned dgemm running at hardware speed;
+// Calibrate replaces that assumption with a measurement, so
+// engine.PredictTime and the perfmodel tables report what this binary
+// actually achieves rather than a Piz Daint constant.
+type Calibration struct {
+	N       int           // problem size measured (n×n×n)
+	Threads int           // kernel worker bound used
+	Runs    int           // timed repetitions (best run is kept)
+	Best    time.Duration // fastest single multiplication
+	GFlops  float64       // sustained 2n³/Best in Gflop/s
+	Gamma   float64       // measured seconds per flop: 1/(GFlops·1e9)
+}
+
+// String implements fmt.Stringer.
+func (c Calibration) String() string {
+	return fmt.Sprintf("calibrated %d³ ×%d threads: %.2f Gflop/s (γ = %.3g s/flop, best of %d runs %v)",
+		c.N, c.Threads, c.GFlops, c.Gamma, c.Runs, c.Best)
+}
+
+// Calibrate measures the achieved throughput of the packed kernel on an
+// n×n×n multiplication with the given worker bound (n <= 0 picks 384, a
+// size past the L2 cliff but quick to repeat; threads <= 0 means
+// GOMAXPROCS) and returns the measured γ. One warm-up run populates the
+// pack buffers, then the best of three timed runs is kept — the
+// standard best-of-N discipline against scheduler noise.
+//
+// Feed the result into a network model with NetworkParams.WithGamma
+// (or perfmodel.Machine.WithPeakFlops) so predictions charge compute at
+// the measured rate:
+//
+//	cal := matrix.Calibrate(0, 0)
+//	net := machine.PizDaintNet().WithGamma(cal.Gamma)
+func Calibrate(n, threads int) Calibration {
+	if n <= 0 {
+		n = 384
+	}
+	k := NewKernel(threads)
+	rng := rand.New(rand.NewSource(1))
+	a := Random(n, n, rng)
+	b := Random(n, n, rng)
+	c := New(n, n)
+	k.Mul(c, a, b) // warm-up: allocate pack buffers, fault pages in
+
+	const runs = 3
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < runs; r++ {
+		c.Zero()
+		start := time.Now()
+		k.Mul(c, a, b)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	flops := float64(MulFlops(n, n, n))
+	gflops := flops / best.Seconds() / 1e9
+	return Calibration{
+		N: n, Threads: k.Threads(), Runs: runs, Best: best,
+		GFlops: gflops,
+		Gamma:  best.Seconds() / flops,
+	}
+}

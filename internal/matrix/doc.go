@@ -1,0 +1,25 @@
+// Package matrix provides dense row-major float64 matrices, submatrix
+// views, and the local multiplication kernel used by every algorithm
+// in this repository — the stand-in for the MKL dgemm the paper's
+// measurements sit on.
+//
+// The kernel (gemm.go) follows the GotoBLAS/BLIS structure: cache
+// blocks of A and B are packed into contiguous micro-panels, a
+// register-blocked 4×4 micro-kernel sweeps them with sixteen scalar
+// accumulators, and a Kernel's worker pool splits the M dimension
+// across goroutines in micro-panel-aligned chunks (bitwise-identical
+// results for any thread count). Pack buffers persist inside the
+// Kernel, so hot paths that hold one (the executors' per-rank Arena
+// kernels) pack without allocating. MulNaive is the independently
+// written triple-loop oracle the packed kernel is tested and
+// speed-guarded against.
+//
+// Calibrate (calibrate.go) measures the packed kernel's sustained
+// Gflop/s and returns the measured γ (seconds per flop) consumed by
+// machine.NetworkParams.WithGamma, perfmodel.Machine.WithPeakFlops and
+// costmodel.Costs.TimeUnder, so runtime predictions charge compute at
+// the achieved rather than assumed rate.
+//
+// A matrix element is one "word" in the I/O analyses: the paper's
+// memory parameter S counts exactly these elements.
+package matrix

@@ -1,0 +1,317 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Cache-blocking parameters of the packed kernel, following the
+// GotoBLAS/BLIS decomposition: the innermost computation is an mr×nr
+// register tile updated over a kc-deep packed panel; mc rows of A are
+// packed at a time so the A panel stays L2-resident while the kc×nc B
+// panel streams from L3/memory. Correctness does not depend on the
+// cache-block values mc/kc/nc — every loop handles fringes — only
+// throughput does; mr and nr, however, are hardwired into
+// microKernel4x4/microKernelEdge and the packed-panel layout, so
+// changing them requires rewriting the micro-kernels.
+const (
+	mr = 4 // register-tile rows (micro-panel width of packed A)
+	nr = 4 // register-tile cols (micro-panel width of packed B)
+
+	mc = 128 // rows of A packed per L2 block
+	kc = 256 // panel depth: packed A is mc×kc ≈ 256 KB, one B strip nr×kc ≈ 8 KB
+	nc = 512 // cols of B packed per outer block (kc×nc ≈ 1 MB)
+)
+
+// packBuf is one worker's private packing scratch. The buffers grow to
+// the largest block the worker has packed (capped by mc×kc and kc×nc)
+// and are reused for every panel of every Mul call, so steady-state
+// packing performs zero allocations while small problems — the common
+// case for simulated ranks, whose local tiles shrink with p — never
+// pay for full-size blocks. Go float64 slices are 8-byte aligned and
+// blocks beyond ~32 KB come from the page-aligned large-object
+// allocator, which is what the micro-kernel's streaming access wants.
+type packBuf struct {
+	a []float64 // packed A block: up to mc×kc in mr-wide micro-panels
+	b []float64 // packed B block: up to kc×nc in nr-wide micro-panels
+}
+
+// grow returns buf with length ≥ n, reallocating only when the
+// capacity has never reached n before.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Kernel is a reusable local GEMM context: a thread count plus one
+// packing scratch per worker. It is the stand-in for a tuned BLAS
+// handle — the distributed algorithms draw one per rank from the
+// executor's Arena so repeated executions pack into the same buffers.
+// A Kernel is not safe for concurrent use; concurrent multiplications
+// need one Kernel each.
+type Kernel struct {
+	threads int
+	workers []packBuf
+	// shared holds the packed B block of the threaded path: B is
+	// packed once per (jc, pc) block and read concurrently by every
+	// worker, so the packing work and footprint do not scale with the
+	// thread count.
+	shared []float64
+}
+
+// NewKernel returns a kernel that splits the M dimension of every Mul
+// across up to threads goroutines. threads <= 0 means GOMAXPROCS.
+func NewKernel(threads int) *Kernel {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &Kernel{threads: threads, workers: make([]packBuf, threads)}
+}
+
+// Threads returns the kernel's worker bound.
+func (k *Kernel) Threads() int { return k.threads }
+
+// Mul computes C += A·B with the packed, register-blocked kernel,
+// splitting the rows of C across the kernel's workers. Each (jc, pc)
+// block of B is packed exactly once into the shared buffer and read
+// concurrently by every worker; workers own disjoint, micro-panel-
+// aligned row ranges of C/A with private A pack buffers, so the only
+// synchronization is one WaitGroup per B block and the per-element
+// accumulation order is identical to the serial kernel's (the result
+// is bitwise-reproducible for any thread count).
+func (k *Kernel) Mul(c, a, b *Dense) {
+	checkMulShapes(c, a, b)
+	m := a.Rows
+	if m == 0 || b.Cols == 0 || a.Cols == 0 {
+		return
+	}
+	// One contiguous row chunk per worker, each a whole number of
+	// micro-panels so no register tile straddles two workers.
+	t := k.threads
+	panels := (m + mr - 1) / mr
+	if t > panels {
+		t = panels
+	}
+	if t <= 1 {
+		gemm(&k.workers[0], c, a, b, 0, m)
+		return
+	}
+	chunk := ((panels + t - 1) / t) * mr
+	kk, n := a.Cols, b.Cols
+	for jc := 0; jc < n; jc += nc {
+		nb := min(nc, n-jc)
+		for pc := 0; pc < kk; pc += kc {
+			kb := min(kc, kk-pc)
+			k.shared = grow(k.shared, (nb+nr-1)/nr*nr*kb)
+			packB(k.shared, b, pc, jc, kb, nb)
+			var wg sync.WaitGroup
+			for w := 0; w < t; w++ {
+				lo := w * chunk
+				if lo >= m {
+					break
+				}
+				hi := min(lo+chunk, m)
+				wg.Add(1)
+				go func(pb *packBuf, lo, hi int) {
+					defer wg.Done()
+					for ic := lo; ic < hi; ic += mc {
+						mb := min(mc, hi-ic)
+						pb.a = grow(pb.a, (mb+mr-1)/mr*mr*kb)
+						packA(pb.a, a, ic, pc, mb, kb)
+						macroKernel(pb.a, k.shared, c, ic, jc, mb, nb, kb)
+					}
+				}(&k.workers[w], lo, hi)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// gemm runs the serial five-loop blocked algorithm over the row range
+// [rowLo, rowHi) of C and A: for every kc×nc block of B (packed once,
+// reused by every row block) and every mc×kc block of A (packed, then
+// swept by the register tiles), the micro-kernel updates C in place.
+func gemm(pb *packBuf, c, a, b *Dense, rowLo, rowHi int) {
+	k, n := a.Cols, b.Cols
+	for jc := 0; jc < n; jc += nc {
+		nb := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kb := min(kc, k-pc)
+			pb.b = grow(pb.b, (nb+nr-1)/nr*nr*kb)
+			packB(pb.b, b, pc, jc, kb, nb)
+			for ic := rowLo; ic < rowHi; ic += mc {
+				mb := min(mc, rowHi-ic)
+				pb.a = grow(pb.a, (mb+mr-1)/mr*mr*kb)
+				packA(pb.a, a, ic, pc, mb, kb)
+				macroKernel(pb.a, pb.b, c, ic, jc, mb, nb, kb)
+			}
+		}
+	}
+}
+
+// packA copies the mb×kb block of A at (ic, pc) into mr-wide
+// micro-panels: panel i holds rows [ic+i·mr, ic+i·mr+mr) stored
+// column-by-column, so the micro-kernel reads mr values of A per k-step
+// from consecutive memory. Short fringe panels are zero-padded to mr so
+// the register kernel can always run full-width.
+func packA(dst []float64, a *Dense, ic, pc, mb, kb int) {
+	pos := 0
+	for i := 0; i < mb; i += mr {
+		h := min(mr, mb-i)
+		for p := 0; p < kb; p++ {
+			base := (ic+i)*a.Stride + pc + p
+			for r := 0; r < h; r++ {
+				dst[pos] = a.Data[base+r*a.Stride]
+				pos++
+			}
+			for r := h; r < mr; r++ {
+				dst[pos] = 0
+				pos++
+			}
+		}
+	}
+}
+
+// packB copies the kb×nb block of B at (pc, jc) into nr-wide
+// micro-panels: panel j holds columns [jc+j·nr, jc+j·nr+nr) stored
+// row-by-row — the transpose-free mirror of packA — zero-padding short
+// fringe panels to nr.
+func packB(dst []float64, b *Dense, pc, jc, kb, nb int) {
+	pos := 0
+	for j := 0; j < nb; j += nr {
+		w := min(nr, nb-j)
+		for p := 0; p < kb; p++ {
+			base := (pc+p)*b.Stride + jc + j
+			for r := 0; r < w; r++ {
+				dst[pos] = b.Data[base+r]
+				pos++
+			}
+			for r := w; r < nr; r++ {
+				dst[pos] = 0
+				pos++
+			}
+		}
+	}
+}
+
+// macroKernel sweeps the packed mb×kb A block against the packed kb×nb
+// B block, dispatching one register tile per (mr, nr) pair. Interior
+// tiles take the unrolled full-width path; fringe tiles (right and
+// bottom edges) fall back to a bounds-aware scalar tile.
+func macroKernel(apack, bpack []float64, c *Dense, ic, jc, mb, nb, kb int) {
+	for j := 0; j < nb; j += nr {
+		w := min(nr, nb-j)
+		bp := bpack[(j/nr)*kb*nr:]
+		for i := 0; i < mb; i += mr {
+			h := min(mr, mb-i)
+			ap := apack[(i/mr)*kb*mr:]
+			if h == mr && w == nr {
+				microKernel4x4(c, ic+i, jc+j, kb, ap, bp)
+			} else {
+				microKernelEdge(c, ic+i, jc+j, h, w, kb, ap, bp)
+			}
+		}
+	}
+}
+
+// microKernel4x4 is the register-blocked inner loop: a 4×4 tile of C
+// held in sixteen scalar accumulators, updated by one rank-1 step per
+// iteration over the kb-deep packed panels (8 loads and 16 FMAs per
+// step, all from contiguous memory).
+func microKernel4x4(c *Dense, ci, cj, kb int, ap, bp []float64) {
+	var (
+		c00, c01, c02, c03 float64
+		c10, c11, c12, c13 float64
+		c20, c21, c22, c23 float64
+		c30, c31, c32, c33 float64
+	)
+	ap = ap[: kb*mr : kb*mr]
+	bp = bp[: kb*nr : kb*nr]
+	for p := 0; p < kb; p++ {
+		a := ap[p*mr : p*mr+mr : p*mr+mr]
+		b := bp[p*nr : p*nr+nr : p*nr+nr]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	row := c.Data[ci*c.Stride+cj:]
+	row[0] += c00
+	row[1] += c01
+	row[2] += c02
+	row[3] += c03
+	row = c.Data[(ci+1)*c.Stride+cj:]
+	row[0] += c10
+	row[1] += c11
+	row[2] += c12
+	row[3] += c13
+	row = c.Data[(ci+2)*c.Stride+cj:]
+	row[0] += c20
+	row[1] += c21
+	row[2] += c22
+	row[3] += c23
+	row = c.Data[(ci+3)*c.Stride+cj:]
+	row[0] += c30
+	row[1] += c31
+	row[2] += c32
+	row[3] += c33
+}
+
+// microKernelEdge handles the h×w fringe tiles (h ≤ mr, w ≤ nr) at the
+// right and bottom edges of a block. The packed panels are zero-padded
+// to full micro-panel width, so it can accumulate full-width and write
+// back only the live h×w corner.
+func microKernelEdge(c *Dense, ci, cj, h, w, kb int, ap, bp []float64) {
+	var acc [mr][nr]float64
+	for p := 0; p < kb; p++ {
+		a := ap[p*mr : p*mr+mr : p*mr+mr]
+		b := bp[p*nr : p*nr+nr : p*nr+nr]
+		for i := 0; i < mr; i++ {
+			ai := a[i]
+			acc[i][0] += ai * b[0]
+			acc[i][1] += ai * b[1]
+			acc[i][2] += ai * b[2]
+			acc[i][3] += ai * b[3]
+		}
+	}
+	for i := 0; i < h; i++ {
+		row := c.Data[(ci+i)*c.Stride+cj : (ci+i)*c.Stride+cj+w]
+		for j := range row {
+			row[j] += acc[i][j]
+		}
+	}
+}
+
+// defaultKernels pools serial kernels behind the package-level Mul so
+// library callers (and concurrent rank programs that have not been
+// given an arena kernel) get packed performance with steady-state-free
+// allocation and no hidden goroutines.
+var defaultKernels = sync.Pool{New: func() any { return NewKernel(1) }}
+
+// Mul computes C += A·B with the packed, register-blocked kernel. A is
+// m×k, B is k×n and C is m×n; any shape mismatch panics. Mul is the
+// local compute kernel used by every distributed algorithm (the
+// stand-in for the paper's MKL dgemm); hot paths that multiply
+// repeatedly should hold a Kernel (or draw one from an Arena) instead,
+// which also unlocks multi-goroutine execution.
+func Mul(c, a, b *Dense) {
+	k := defaultKernels.Get().(*Kernel)
+	k.Mul(c, a, b)
+	defaultKernels.Put(k)
+}

@@ -1,0 +1,65 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// benchMul reports Gflop/s for one kernel configuration, the metric the
+// README performance table quotes.
+func benchMul(b *testing.B, n int, mul func(c, a, bb *Dense)) {
+	rng := rand.New(rand.NewSource(1))
+	a := Random(n, n, rng)
+	bb := Random(n, n, rng)
+	c := New(n, n)
+	mul(c, a, bb) // warm-up: pack buffers, page faults
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mul(c, a, bb)
+	}
+	b.StopTimer()
+	flops := float64(MulFlops(n, n, n)) * float64(b.N)
+	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+// BenchmarkKernelNaive is the textbook triple loop — the floor the
+// packed kernel is guarded against (TestPackedKernelBeatsNaive).
+func BenchmarkKernelNaive(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			benchMul(b, n, MulNaive)
+		})
+	}
+}
+
+// BenchmarkKernelPacked is the serial packed register-blocked kernel.
+func BenchmarkKernelPacked(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			k := NewKernel(1)
+			benchMul(b, n, k.Mul)
+		})
+	}
+}
+
+// BenchmarkKernelPackedThreads is the packed kernel with the worker
+// pool at GOMAXPROCS — on a single-core runner it degenerates to the
+// serial kernel plus scheduling noise, which is itself worth tracking.
+func BenchmarkKernelPackedThreads(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			k := NewKernel(runtime.GOMAXPROCS(0))
+			benchMul(b, n, k.Mul)
+		})
+	}
+}
+
+// BenchmarkCalibrate tracks the cost of one calibration measurement
+// (three timed multiplications at the default size).
+func BenchmarkCalibrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Calibrate(128, 1)
+	}
+}

@@ -2,15 +2,6 @@ package matrix
 
 import "fmt"
 
-// Tile sizes for the blocked kernel. Chosen so one tile triple of
-// float64s stays L1/L2-resident on commodity cores; correctness does not
-// depend on the values.
-const (
-	tileM = 64
-	tileN = 64
-	tileK = 64
-)
-
 // MulFlops returns the floating-point operation count of one Mul call on
 // an m×k by k×n problem: 2mnk (one multiply and one add per elementary
 // product) — the quantity the distributed algorithms register with
@@ -19,45 +10,10 @@ func MulFlops(m, n, k int) int64 {
 	return 2 * int64(m) * int64(n) * int64(k)
 }
 
-// Mul computes C += A·B with the blocked kernel. A is m×k, B is k×n and C
-// is m×n; any shape mismatch panics. Mul is the local compute kernel used
-// by every distributed algorithm (the stand-in for the paper's MKL dgemm).
-func Mul(c, a, b *Dense) {
-	checkMulShapes(c, a, b)
-	for i0 := 0; i0 < a.Rows; i0 += tileM {
-		iMax := min(i0+tileM, a.Rows)
-		for p0 := 0; p0 < a.Cols; p0 += tileK {
-			pMax := min(p0+tileK, a.Cols)
-			for j0 := 0; j0 < b.Cols; j0 += tileN {
-				jMax := min(j0+tileN, b.Cols)
-				mulTile(c, a, b, i0, iMax, p0, pMax, j0, jMax)
-			}
-		}
-	}
-}
-
-// mulTile computes the C tile update for the index ranges [i0,iMax) ×
-// [j0,jMax) over the k range [p0,pMax) with an ikj loop order: the inner
-// loop streams a row of B against a row of C, which vectorizes well.
-func mulTile(c, a, b *Dense, i0, iMax, p0, pMax, j0, jMax int) {
-	for i := i0; i < iMax; i++ {
-		arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
-		crow := c.Data[i*c.Stride+j0 : i*c.Stride+jMax]
-		for p := p0; p < pMax; p++ {
-			aip := arow[p]
-			if aip == 0 {
-				continue
-			}
-			brow := b.Data[p*b.Stride+j0 : p*b.Stride+jMax]
-			for j := range crow {
-				crow[j] += aip * brow[j]
-			}
-		}
-	}
-}
-
 // MulNaive computes C += A·B with the textbook triple loop. It exists as
-// an independently-written oracle for testing Mul.
+// an independently-written oracle for testing Mul and as the baseline
+// the packed kernel's speedup is measured against (Calibrate, the
+// benchmark guard and the README performance table all compare to it).
 func MulNaive(c, a, b *Dense) {
 	checkMulShapes(c, a, b)
 	for i := 0; i < a.Rows; i++ {

@@ -1,9 +1,3 @@
-// Package matrix provides dense row-major float64 matrices, submatrix
-// views, and the blocked local multiplication kernel used by every
-// algorithm in this repository.
-//
-// A matrix element is one "word" in the I/O analyses: the paper's memory
-// parameter S counts exactly these elements.
 package matrix
 
 import (

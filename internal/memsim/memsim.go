@@ -1,9 +1,3 @@
-// Package memsim simulates a two-level memory hierarchy: a small fast
-// memory of S words in front of an infinite slow memory. Algorithms
-// explicitly load, store and evict word ranges of tracked arrays; every
-// element access is checked for residency. The simulator counts vertical
-// I/O (loads + stores in words), which is exactly the quantity bounded by
-// Theorem 1.
 package memsim
 
 import "fmt"

@@ -1,0 +1,13 @@
+// Package pebble implements Hong and Kung's red-blue pebble game on
+// computational DAGs (game.go), the MMM CDAG of §5.1 (mmm.go), the
+// greedy schedules of Listing 1, X-partition inspection (§4,
+// partition.go), and a brute-force optimal pebbler (bruteforce.go)
+// used to certify the lower bounds on tiny instances — the exact
+// optimum is PSPACE-complete in general, so exhaustive search is only
+// viable at toy scale.
+//
+// The game engine validates that a proposed move sequence respects the
+// red-pebble budget S and counts its I/O (blue↔red transitions), which
+// is how the theory layer's schedules are machine-checked rather than
+// merely asserted.
+package pebble

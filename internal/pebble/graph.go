@@ -1,7 +1,3 @@
-// Package pebble implements Hong and Kung's red-blue pebble game on
-// computational DAGs, the MMM CDAG of §5.1, the greedy schedules of
-// Listing 1, X-partition inspection (§4), and a brute-force optimal
-// pebbler used to certify the lower bounds on tiny instances.
 package pebble
 
 import "fmt"

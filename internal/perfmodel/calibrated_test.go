@@ -1,0 +1,27 @@
+package perfmodel
+
+import "testing"
+
+func TestWithPeakFlops(t *testing.T) {
+	base := PizDaint()
+	cal := base.WithPeakFlops(3.4e9) // a measured Go-kernel rate
+	if cal.PeakFlops != 3.4e9 {
+		t.Fatalf("PeakFlops = %g", cal.PeakFlops)
+	}
+	if cal.Bandwidth != base.Bandwidth || cal.Latency != base.Latency {
+		t.Fatal("WithPeakFlops must leave bandwidth and latency untouched")
+	}
+	// A slower measured machine takes longer on the same work.
+	if cal.Time(1e9, 1e6, 10) <= base.Time(1e9, 1e6, 10) {
+		t.Fatal("slower calibrated peak did not raise Time")
+	}
+}
+
+func TestWithPeakFlopsRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithPeakFlops(0) must panic")
+		}
+	}()
+	PizDaint().WithPeakFlops(0)
+}

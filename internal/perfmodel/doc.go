@@ -1,0 +1,13 @@
+// Package perfmodel converts an algorithm's per-rank flop, word and
+// message counts into simulated time and % of peak performance. It
+// stands in for the Piz Daint testbed of §8: every algorithm is
+// charged the same machine constants, so runtime and %-peak orderings
+// follow the measured and modeled communication volumes — which is
+// what Figures 8–14 compare.
+//
+// The default constants come from the single machine.PizDaintNet
+// definition (FromNetwork), so the timed transport and the
+// figure-level models can never drift apart; WithPeakFlops substitutes
+// a measured compute rate (matrix.Calibrate) for calibrated rather
+// than assumed compute time.
+package perfmodel

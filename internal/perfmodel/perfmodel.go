@@ -1,8 +1,3 @@
-// Package perfmodel converts an algorithm's per-rank flop, word and
-// message counts into simulated time and % of peak performance. It stands
-// in for the Piz Daint testbed of §8: every algorithm is charged the same
-// machine constants, so runtime and %-peak orderings follow the measured
-// and modeled communication volumes — which is what Figures 8–14 compare.
 package perfmodel
 
 import (
@@ -44,6 +39,19 @@ func FromNetwork(net machine.NetworkParams) Machine {
 		Bandwidth: 1 / net.Beta,
 		Latency:   net.Alpha,
 	}
+}
+
+// WithPeakFlops returns a copy of the machine whose compute rate is
+// replaced by a measured one — the perfmodel-side counterpart of
+// machine.NetworkParams.WithGamma. Feeding matrix.Calibrate's sustained
+// Gflop/s here makes every %-peak and runtime table report calibrated,
+// not assumed, compute time.
+func (m Machine) WithPeakFlops(flops float64) Machine {
+	if flops <= 0 {
+		panic(fmt.Sprintf("perfmodel: WithPeakFlops(%v) must be > 0", flops))
+	}
+	m.PeakFlops = flops
+	return m
 }
 
 // Time returns the simulated execution time of one rank's critical path

@@ -1,5 +1,3 @@
-// Package report renders the experiment results as fixed-width text
-// tables and CSV series — the textual counterpart of the paper's figures.
 package report
 
 import (

@@ -1,9 +1,3 @@
-// Package workload generates the experiment configurations of §8: the
-// four matrix shapes (square, largeK, largeM, flat) under the three
-// scaling regimes (strong scaling, limited memory, extra memory), with the
-// dimension formulas taken from the captions of Figures 6–11, plus the
-// RPA water-molecule sizes (m = n = 136·w, k = 228·w²) that motivate the
-// tall-and-skinny cases.
 package workload
 
 import (

@@ -16,6 +16,9 @@ import (
 type Plan struct {
 	inner   algo.Plan
 	network *NetworkParams
+	// kernelThreads bounds each rank's local GEMM worker pool in the
+	// executors built for this plan; 0 resolves GOMAXPROCS-aware.
+	kernelThreads int
 
 	// Executor free list. Engine.Exec borrows from here so concurrent
 	// same-shape multiplications each get a machine of their own while
@@ -68,7 +71,7 @@ func (p *Plan) String() string {
 // their outputs. An Executor is not safe for concurrent use — create
 // one per goroutine (Engine.Exec pools them automatically).
 func (p *Plan) NewExecutor() *Executor {
-	return &Executor{plan: p, inner: algo.NewExecutor(p.inner, p.network)}
+	return &Executor{plan: p, inner: algo.NewExecutor(p.inner, p.network, p.kernelThreads)}
 }
 
 // acquire borrows a pooled executor, building one on first use.
