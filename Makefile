@@ -1,0 +1,29 @@
+# Developer entry points. CI runs the same targets so local runs and
+# the pipeline can never drift apart.
+
+GO ?= go
+
+.PHONY: build test race bench-overlap bench-overlap-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-overlap emits BENCH_overlap.json: warm Engine.Exec wall-clock
+# with the pipelined round loop on vs off at 256^3 and 512^3 on p=16
+# simulated ranks, and fails if overlap-on is slower than overlap-off
+# beyond 5% noise on any size. Best-of-10 for a stable local number.
+bench-overlap:
+	$(GO) run ./cmd/benchoverlap -sizes 256,512 -procs 16 -reps 10 -out BENCH_overlap.json -guard 1.05
+
+# The CI smoke: identical artifact and guard, best-of-5 repetitions so
+# a co-tenant CPU spike on the shared runner cannot fake a regression
+# (both modes do identical total work; the guard budget is pure noise
+# margin).
+bench-overlap-smoke:
+	$(GO) run ./cmd/benchoverlap -sizes 256,512 -procs 16 -reps 5 -out BENCH_overlap.json -guard 1.05

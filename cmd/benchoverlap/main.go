@@ -1,0 +1,130 @@
+// Command benchoverlap measures warm Engine.Exec wall-clock time with
+// the pipelined (overlap-on) and synchronous (overlap-off) round loops
+// and emits the comparison as JSON — the artifact CI archives as
+// BENCH_overlap.json and gates on:
+//
+//	benchoverlap [-sizes 256,512] [-procs 16] [-reps 5] [-warmups 1]
+//	             [-out BENCH_overlap.json] [-guard 1.05]
+//
+// Each configuration plans once, then executes warmups+reps times on
+// the same engine (pooled executor, recycled per-rank buffers) and
+// keeps the fastest repetition, which suppresses scheduler noise. With
+// -guard g > 0 the program exits non-zero if overlap-on is slower than
+// overlap-off by more than the factor g on any size — the "pipelining
+// must never cost beyond noise" regression gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cosma"
+)
+
+// result is one size's measurement pair, serialized into the JSON
+// artifact.
+type result struct {
+	N           int     `json:"n"`     // square problem size (m = n = k)
+	Procs       int     `json:"procs"` // simulated ranks
+	Reps        int     `json:"reps"`  // timed repetitions (fastest kept)
+	OverlapOff  float64 `json:"overlap_off_sec"`
+	OverlapOn   float64 `json:"overlap_on_sec"`
+	Ratio       float64 `json:"on_over_off"` // <1 means overlap-on is faster
+	GuardFactor float64 `json:"guard_factor,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchoverlap: ")
+	sizes := flag.String("sizes", "256,512", "comma-separated square problem sizes")
+	procs := flag.Int("procs", 16, "simulated ranks p")
+	reps := flag.Int("reps", 5, "timed repetitions per configuration (fastest kept)")
+	warmups := flag.Int("warmups", 1, "untimed warm-up executions per configuration")
+	out := flag.String("out", "BENCH_overlap.json", "output JSON path ('-' for stdout)")
+	guard := flag.Float64("guard", 1.05,
+		"fail if overlap-on/overlap-off exceeds this factor on any size (0 disables)")
+	flag.Parse()
+
+	var results []result
+	for _, field := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			log.Fatalf("invalid size %q", field)
+		}
+		r, err := measure(n, *procs, *reps, *warmups)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.GuardFactor = *guard
+		results = append(results, r)
+		log.Printf("n=%d p=%d: overlap-off %.3fms, overlap-on %.3fms (on/off %.3f)",
+			n, *procs, r.OverlapOff*1e3, r.OverlapOn*1e3, r.Ratio)
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	if *guard > 0 {
+		for _, r := range results {
+			if r.Ratio > *guard {
+				log.Fatalf("guard failed: n=%d overlap-on/overlap-off = %.3f exceeds %.2f",
+					r.N, r.Ratio, *guard)
+			}
+		}
+	}
+}
+
+// measure times warm Exec for both round-loop modes on one problem
+// size. The warm-up executions populate the plan cache and the pooled
+// executor's arenas, so the timed repetitions measure the steady state.
+func measure(n, procs, reps, warmups int) (result, error) {
+	a := cosma.RandomMatrix(n, n, 101)
+	b := cosma.RandomMatrix(n, n, 102)
+	times := make(map[bool]float64, 2)
+	for _, overlap := range []bool{false, true} {
+		eng, err := cosma.NewEngine(
+			cosma.WithProcs(procs),
+			cosma.WithMemory(3*n*n/procs),
+			cosma.WithOverlap(overlap),
+		)
+		if err != nil {
+			return result{}, err
+		}
+		for i := 0; i < warmups; i++ {
+			if _, _, err := eng.Exec(context.Background(), a, b); err != nil {
+				return result{}, fmt.Errorf("warmup n=%d overlap=%v: %w", n, overlap, err)
+			}
+		}
+		best := 0.0
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if _, _, err := eng.Exec(context.Background(), a, b); err != nil {
+				return result{}, fmt.Errorf("n=%d overlap=%v: %w", n, overlap, err)
+			}
+			if sec := time.Since(start).Seconds(); best == 0 || sec < best {
+				best = sec
+			}
+		}
+		times[overlap] = best
+	}
+	return result{
+		N: n, Procs: procs, Reps: reps,
+		OverlapOff: times[false], OverlapOn: times[true],
+		Ratio: times[true] / times[false],
+	}, nil
+}

@@ -46,6 +46,8 @@ func main() {
 	netName := flag.String("network", "", "timed α-β-γ preset: pizdaint, ethernet or sharedmem (empty counts only)")
 	calibrate := flag.Bool("calibrate", false, "measure the local kernel and substitute its γ into -network")
 	threads := flag.Int("threads", 0, "per-rank GEMM kernel workers (0 = GOMAXPROCS-aware)")
+	overlap := flag.Bool("overlap", false,
+		"pipeline the round loops (§7.3): prefetch the next round's panels while multiplying")
 	flag.Parse()
 
 	if *algoName == "list" {
@@ -61,7 +63,7 @@ func main() {
 
 	opts := []cosma.Option{
 		cosma.WithProcs(*p), cosma.WithMemory(*s), cosma.WithDelta(*delta),
-		cosma.WithKernelThreads(*threads),
+		cosma.WithKernelThreads(*threads), cosma.WithOverlap(*overlap),
 	}
 	if *netName != "" {
 		net, err := cosma.NetworkByName(*netName)
@@ -114,7 +116,7 @@ func main() {
 		}
 		row := []interface{}{rep.Name, rep.Grid, rep.Used, rep.AvgRecv, rep.MaxRecv, rep.MaxMsgs, rep.Model.AvgRecv}
 		if timed {
-			row = append(row, report.Seconds(rep.PredictedTime), report.Seconds(rep.CritPathTime))
+			row = append(row, report.Seconds(rep.PredictedAsExecuted()), report.Seconds(rep.CritPathTime))
 		}
 		t.AddRow(row...)
 	}

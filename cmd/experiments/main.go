@@ -5,10 +5,10 @@
 //	experiments [-network pizdaint|ethernet|sharedmem] [-calibrate]
 //	            [table1] [fig3] [seqio] [fig5] [table3] [fig6] [fig7]
 //	            [fig8] [fig9] [fig10] [fig11] [fig12] [fig13] [table4]
-//	            [unfavorable] [validate] [timevolume] [algos]
+//	            [unfavorable] [validate] [timevolume] [overlap] [algos]
 //
 // The -network flag selects the α-β-γ preset the timed-transport
-// experiments (timevolume) execute on; -calibrate first measures the
+// experiments (timevolume, overlap) execute on; -calibrate first measures the
 // local packed kernel (matrix.Calibrate) and substitutes the measured
 // γ into the preset, so the reported compute times are calibrated to
 // this machine rather than assumed. The comparison set is drawn from
@@ -50,7 +50,7 @@ func main() {
 		"table1", "fig3", "seqio", "fig5", "table3", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table4",
 		"unfavorable", "validate", "iolatency", "delta", "step",
-		"timevolume", "algos",
+		"timevolume", "overlap", "algos",
 	}
 	want := flag.Args()
 	if len(want) == 0 {
@@ -133,6 +133,8 @@ func run(name string, network machine.NetworkParams) {
 		print(experiments.StepAblation())
 	case "timevolume":
 		print(experiments.TimeVsVolume(network))
+	case "overlap":
+		print(experiments.OverlapGain(network))
 	case "algos":
 		t := report.NewTable("registered algorithms", "name", "aliases", "in comparison set", "summary")
 		for _, s := range algo.Specs() {

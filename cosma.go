@@ -129,6 +129,10 @@ type Options struct {
 	// the report's PredictedTime/CritPathTime; nil uses the counting
 	// transport (volumes only).
 	Network *NetworkParams
+	// Overlap software-pipelines the round loop (§7.3), prefetching the
+	// next round's panels while the kernel multiplies the current ones;
+	// the product is bitwise-identical to the synchronous schedule.
+	Overlap bool
 }
 
 // Multiply computes C = A·B with COSMA on the simulated distributed
@@ -150,7 +154,7 @@ func Multiply(a, b *Matrix, opts Options) (*Matrix, *Report, error) {
 // options, so the deprecated shims and the engine share one
 // normalization path.
 func engineOptions(opts Options) []Option {
-	eopts := []Option{WithProcs(opts.Procs), WithMemory(opts.Memory), WithDelta(opts.Delta)}
+	eopts := []Option{WithProcs(opts.Procs), WithMemory(opts.Memory), WithDelta(opts.Delta), WithOverlap(opts.Overlap)}
 	if opts.Network != nil {
 		eopts = append(eopts, WithNetwork(*opts.Network))
 	}

@@ -55,6 +55,7 @@ type planKey struct {
 	delta     float64
 	net       NetworkParams // zero value when counting
 	timed     bool
+	overlap   bool
 }
 
 type engineConfig struct {
@@ -65,6 +66,7 @@ type engineConfig struct {
 	algorithm     string
 	cacheSize     int
 	kernelThreads int
+	overlap       bool
 	err           error // first option error, surfaced by NewEngine
 }
 
@@ -114,6 +116,24 @@ func WithDelta(delta float64) Option {
 // engine counts volumes only.
 func WithNetwork(net NetworkParams) Option {
 	return func(c *engineConfig) { c.network = &net }
+}
+
+// WithOverlap enables communication–computation overlap (§7.3): the
+// round loops software-pipeline, prefetching round i+1's panels with
+// non-blocking broadcasts while the kernel multiplies round i's —
+// double-buffered panel pairs per operand, swapped every round. The
+// product is bitwise-identical to the synchronous schedule; on a timed
+// engine the measured CritPathTime drops by up to the hidden
+// communication (Figure 12). COSMA and SUMMA pipeline; the other
+// algorithms execute synchronously regardless.
+//
+// The round schedule (and hence the kernel call sequence) is the one
+// fitted for WithMemory's S, so the prefetched pair transiently holds
+// one extra A+B panel beyond S per rank — overlap trades that buffer
+// space for hidden latency. Run synchronously when S must bound the
+// true peak residency.
+func WithOverlap(on bool) Option {
+	return func(c *engineConfig) { c.overlap = on }
 }
 
 // WithAlgorithm selects the multiplication algorithm by registry name
@@ -171,7 +191,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	if cfg.delta == 0 {
 		cfg.delta = DefaultDelta
 	}
-	runner, err := algo.New(cfg.algorithm, algo.Config{Delta: cfg.delta, Network: cfg.network})
+	runner, err := algo.New(cfg.algorithm, algo.Config{Delta: cfg.delta, Network: cfg.network, Overlap: cfg.overlap})
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +219,10 @@ func (e *Engine) Delta() float64 { return e.cfg.delta }
 // means the GOMAXPROCS-aware default is resolved per executor.
 func (e *Engine) KernelThreads() int { return e.cfg.kernelThreads }
 
+// Overlap reports whether executions pipeline their round loops
+// (communication–computation overlap, WithOverlap).
+func (e *Engine) Overlap() bool { return e.cfg.overlap }
+
 // Network returns the engine's α-β-γ parameters and true when runs
 // execute on the timed transport.
 func (e *Engine) Network() (NetworkParams, bool) {
@@ -215,6 +239,7 @@ func (e *Engine) key(m, n, k int) planKey {
 		p: e.cfg.procs, s: e.cfg.memory,
 		delta: e.cfg.delta,
 	}
+	key.overlap = e.cfg.overlap
 	if e.cfg.network != nil {
 		key.net, key.timed = *e.cfg.network, true
 	}
@@ -311,19 +336,33 @@ func (e *Engine) MultiplyBatch(ctx context.Context, pairs []Pair) ([]*Matrix, []
 
 // PredictTime returns the engine's analytic end-to-end runtime in
 // seconds for an m×k by k×n multiplication on its network: the α-β-γ
-// evaluation of the plan's model. It shares the plan cache — and
-// therefore the exact grid — with Plan and Exec, and requires
-// WithNetwork.
+// evaluation of the plan's model with communication and computation
+// charged serially. It shares the plan cache — and therefore the exact
+// grid — with Plan and Exec, and requires WithNetwork. Use PredictTimes
+// for the serial and overlapped predictions together.
 func (e *Engine) PredictTime(m, n, k int) (float64, error) {
+	serial, _, err := e.PredictTimes(m, n, k)
+	return serial, err
+}
+
+// PredictTimes returns both analytic end-to-end runtimes for an m×k by
+// k×n multiplication on the engine's network: serial charges
+// communication and computation sequentially (γ·MaxFlops + β·MaxRecv +
+// α·MaxMsgs), overlapped hides them behind each other (the §7.3
+// pipelining WithOverlap executes), so overlapped ≤ serial always and
+// their ratio is the predicted Figure 12 gain. Both read the same
+// cached plan as Plan and Exec; requires WithNetwork.
+func (e *Engine) PredictTimes(m, n, k int) (serial, overlapped float64, err error) {
 	if e.cfg.network == nil {
-		return 0, fmt.Errorf("cosma: PredictTime needs a network; configure the engine with WithNetwork")
+		return 0, 0, fmt.Errorf("cosma: PredictTimes needs a network; configure the engine with WithNetwork")
 	}
 	plan, err := e.Plan(context.Background(), m, n, k)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	mod := plan.Model()
-	return e.cfg.network.Time(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs), nil
+	return e.cfg.network.Time(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs),
+		e.cfg.network.TimeOverlap(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs), nil
 }
 
 // CacheStats is a snapshot of the engine's plan-cache accounting.

@@ -133,6 +133,9 @@ func (e *Executor) Exec(ctx context.Context, a, b *matrix.Dense) (*matrix.Dense,
 		return nil, nil, err
 	}
 	rep := NewReport(e.plan.Algorithm(), e.plan.Grid(), e.mach, e.plan.Used(), e.plan.Model())
+	if o, ok := e.plan.(Overlapper); ok {
+		rep.Overlap = o.Overlap()
+	}
 	return c, rep, nil
 }
 

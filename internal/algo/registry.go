@@ -19,6 +19,11 @@ type Config struct {
 	// Network, when set, executes runs on the timed α-β-γ transport;
 	// nil uses the counting transport.
 	Network *machine.NetworkParams
+	// Overlap software-pipelines the round loops (§7.3): panels for
+	// round i+1 are prefetched with non-blocking broadcasts while the
+	// kernel multiplies round i's. Honored by COSMA and SUMMA; the
+	// other baselines execute synchronously regardless.
+	Overlap bool
 }
 
 // Spec describes one registered algorithm.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"cosma/internal/algo"
 	"cosma/internal/comm"
@@ -19,6 +20,11 @@ import (
 type SUMMA struct {
 	// Network, when set, runs on the timed α-β-γ transport; nil counts.
 	Network *machine.NetworkParams
+	// Overlap software-pipelines the round loop exactly like COSMA's
+	// (§7.3): round i+1's panels are prefetched with non-blocking
+	// broadcasts while the kernel multiplies round i's, so timed
+	// comparisons pit overlapped COSMA against overlapped SUMMA.
+	Overlap bool
 }
 
 func init() {
@@ -28,7 +34,7 @@ func init() {
 		Summary:    "2D SUMMA on the most square grid — what ScaLAPACK's PDGEMM implements",
 		Order:      1,
 		Comparison: true,
-		New:        func(cfg algo.Config) algo.Runner { return SUMMA{Network: cfg.Network} },
+		New:        func(cfg algo.Config) algo.Runner { return SUMMA{Network: cfg.Network, Overlap: cfg.Overlap} },
 	})
 	algo.Register(algo.Spec{
 		Name:       "2.5d",
@@ -89,8 +95,9 @@ func (s SUMMA) Plan(m, n, k, p, sMem int) (algo.Plan, error) {
 	return &summaPlan{
 		m: m, n: n, k: k, p: p,
 		pr: pr, pc: pc,
-		segs:  kSegments(k, pr, pc, panelWidth(sMem, dmMax, dnMax)),
-		model: s.Model(m, n, k, p, sMem),
+		segs:    kSegments(k, pr, pc, panelWidth(sMem, dmMax, dnMax)),
+		model:   s.Model(m, n, k, p, sMem),
+		overlap: s.Overlap,
 	}, nil
 }
 
@@ -109,6 +116,7 @@ type summaPlan struct {
 	pr, pc     int
 	segs       []layout.Range
 	model      algo.Model
+	overlap    bool
 }
 
 func (pl *summaPlan) Algorithm() string   { return SUMMA{}.Name() }
@@ -117,6 +125,9 @@ func (pl *summaPlan) Used() int           { return pl.p }
 func (pl *summaPlan) Procs() int          { return pl.p }
 func (pl *summaPlan) Dims() (m, n, k int) { return pl.m, pl.n, pl.k }
 func (pl *summaPlan) Model() algo.Model   { return pl.model }
+
+// Overlap implements algo.Overlapper.
+func (pl *summaPlan) Overlap() bool { return pl.overlap }
 
 // Execute implements algo.Plan.
 func (pl *summaPlan) Execute(ctx context.Context, mach *machine.Machine, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
@@ -170,31 +181,36 @@ func (pl *summaPlan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *mat
 	cTile := scratch.Matrix(r.ID(), dm, dn)
 	kern := scratch.Kernel(r.ID())
 
-	for _, seg := range pl.segs {
-		if err := r.Err(); err != nil {
-			return nil, err
+	// The round loop is COSMA's discipline on the 2D grid: the owning
+	// column/row packs its k-panel into a loaned buffer and posts the
+	// tree broadcast; settling multiplies and recycles. PipelineRounds
+	// sequences the rounds serially or double-buffered under Overlap.
+	startA := func(seg layout.Range) *comm.Pending {
+		owner := ownerIn(k, pc, seg.Lo)
+		var chunk []float64
+		if j == owner {
+			chunk = myA.View(0, seg.Lo-aCols.Lo, dm, seg.Len()).Pack(machine.Loan(dm * seg.Len()))
 		}
-		aOwner := ownerIn(k, pc, seg.Lo)
-		bOwner := ownerIn(k, pr, seg.Lo)
-
-		var aChunk []float64
-		if j == aOwner {
-			aChunk = myA.View(0, seg.Lo-aCols.Lo, dm, seg.Len()).Pack(machine.Loan(dm * seg.Len()))
+		return rowGroup.IBcast(owner, chunk, sumTagA+seg.Lo)
+	}
+	startB := func(seg layout.Range) *comm.Pending {
+		owner := ownerIn(k, pr, seg.Lo)
+		var chunk []float64
+		if i == owner {
+			chunk = myB.View(seg.Lo-bRows.Lo, 0, seg.Len(), dn).Pack(machine.Loan(seg.Len() * dn))
 		}
-		aChunk = rowGroup.Bcast(aOwner, aChunk, sumTagA+seg.Lo)
-
-		var bChunk []float64
-		if i == bOwner {
-			bChunk = myB.View(seg.Lo-bRows.Lo, 0, seg.Len(), dn).Pack(machine.Loan(seg.Len() * dn))
-		}
-		bChunk = colGroup.Bcast(bOwner, bChunk, sumTagB+seg.Lo)
-
+		return colGroup.IBcast(owner, chunk, sumTagB+seg.Lo)
+	}
+	mulRound := func(seg layout.Range, aChunk, bChunk []float64) {
 		kern.Mul(cTile,
 			matrix.FromSlice(dm, seg.Len(), aChunk),
 			matrix.FromSlice(seg.Len(), dn, bChunk))
 		r.Compute(matrix.MulFlops(dm, dn, seg.Len()))
 		machine.Release(aChunk)
 		machine.Release(bChunk)
+	}
+	if err := comm.PipelineRounds(r, pl.segs, pl.overlap, startA, startB, mulRound); err != nil {
+		return nil, err
 	}
 	return cTile, nil
 }
@@ -223,7 +239,7 @@ func kSegments(k, pr, pc, step int) []layout.Range {
 	for c := range cuts {
 		points = append(points, c)
 	}
-	sortInts(points)
+	sort.Ints(points)
 	var out []layout.Range
 	for i := 0; i+1 < len(points); i++ {
 		for lo := points[i]; lo < points[i+1]; lo += step {
@@ -262,11 +278,3 @@ func (s SUMMA) Model(m, n, k, p, sMem int) algo.Model {
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}

@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 
+	"cosma/internal/layout"
 	"cosma/internal/machine"
 )
 
@@ -106,6 +107,210 @@ func (g *Group) Reduce(root int, data []float64, tag int) []float64 {
 	return acc
 }
 
+// Pending is an in-flight asynchronous collective (IBcast or IReduce).
+// Wait drives the remaining hops — settling the underlying point-to-
+// point requests and relaying onward as each payload lands — and
+// returns the caller's result. On the timed transport every relay is
+// stamped with its landing time, so a collective posted before a
+// compute phase overlaps it end to end: no hop's departure is delayed
+// to the relaying rank's compute-advanced clock.
+//
+// A Pending belongs to the rank that posted it; every group member must
+// eventually settle its Pending (the tree's interior hops are driven by
+// the members' own Waits).
+type Pending struct {
+	g    *Group
+	tag  int
+	done bool
+	data []float64
+	at   float64 // landing time of data (timed transports)
+
+	// Broadcast descent: the parent receive to settle and the children
+	// to relay the payload to as it lands.
+	recv     machine.Request
+	children []int
+
+	// Reduction ascent: the child partials to fold into data and the
+	// parent (group index, -1 at the root) to pass the sum up to.
+	parts  []machine.Request
+	parent int
+}
+
+// IBcast posts the asynchronous counterpart of Bcast: the root relays
+// data to its children immediately (sends are eager and never block)
+// and every other member posts a non-blocking receive from its tree
+// parent. Settle with Wait or Test; interior members relay to their
+// subtrees as part of settling. Only the root's data argument is read.
+func (g *Group) IBcast(root int, data []float64, tag int) *Pending {
+	g.checkRoot(root)
+	p := &Pending{g: g, tag: tag, data: data, parent: -1}
+	if len(g.ranks) == 1 {
+		p.done = true
+		return p
+	}
+	parent, children := g.tree(root)
+	if parent < 0 {
+		// Root: the payload is already here; push it downstream now so
+		// the children's transfers start at the post time, and complete.
+		for _, c := range children {
+			g.rank.Send(g.ranks[c], tag, data)
+		}
+		p.at = g.rank.Now()
+		p.done = true
+		return p
+	}
+	p.recv = g.rank.IRecv(g.ranks[parent], tag)
+	p.children = children
+	return p
+}
+
+// IReduce posts the asynchronous counterpart of Reduce: the caller's
+// contribution is captured (copied into a pooled accumulator) at post
+// time, and non-blocking receives are posted for every child partial.
+// Settling folds the partials as they land and passes the sum up the
+// tree stamped with the time the last partial arrived, so a reduction
+// posted before a compute phase climbs the tree overlapped with it.
+// Wait returns the total at the root and nil elsewhere; data is not
+// modified and may be reused immediately.
+func (g *Group) IReduce(root int, data []float64, tag int) *Pending {
+	g.checkRoot(root)
+	acc := machine.Loan(len(data))
+	copy(acc, data)
+	p := &Pending{g: g, tag: tag, data: acc, at: g.rank.Now(), parent: -1}
+	if len(g.ranks) == 1 {
+		p.done = true
+		return p
+	}
+	parent, children := g.tree(root)
+	p.parent = parent
+	for _, c := range children {
+		p.parts = append(p.parts, g.rank.IRecv(g.ranks[c], tag))
+	}
+	return p
+}
+
+// Wait blocks until the collective's local part completes and returns
+// the caller's result: the payload for a broadcast (every member), the
+// total for a reduction root, nil for other reduction members. The
+// returned buffer follows the same ownership rules as the blocking
+// collectives (broadcast payloads and reduction totals may be handed
+// back with machine.Release).
+func (p *Pending) Wait() []float64 {
+	if p.done {
+		return p.data
+	}
+	if p.recv != nil {
+		// Broadcast descent: receive from the parent, then relay to the
+		// subtrees stamped at the landing time.
+		p.data = p.recv.Wait()
+		p.at = p.recv.At()
+		for _, c := range p.children {
+			p.g.rank.SendAt(p.g.ranks[c], p.tag, p.data, p.at)
+		}
+		p.done = true
+		return p.data
+	}
+	// Reduction ascent: fold the child partials as they land.
+	for _, part := range p.parts {
+		chunk := part.Wait()
+		if len(chunk) != len(p.data) {
+			panic(fmt.Sprintf("comm: reduce length mismatch %d vs %d", len(chunk), len(p.data)))
+		}
+		for i, v := range chunk {
+			p.data[i] += v
+		}
+		if at := part.At(); at > p.at {
+			p.at = at
+		}
+		machine.Release(chunk)
+	}
+	p.done = true
+	if p.parent >= 0 {
+		p.g.rank.SendOwnedAt(p.g.ranks[p.parent], p.tag, p.data, p.at)
+		p.data = nil
+	}
+	return p.data
+}
+
+// Test polls the collective without blocking: it returns (result, true)
+// once the local part has completed — performing any relaying or
+// folding that became possible — and (nil, false) otherwise.
+func (p *Pending) Test() ([]float64, bool) {
+	if p.done {
+		return p.data, true
+	}
+	if p.recv != nil {
+		if _, ok := p.recv.Test(); !ok {
+			return nil, false
+		}
+		return p.Wait(), true // parent payload landed: relay and finish
+	}
+	for _, part := range p.parts {
+		if _, ok := part.Test(); !ok {
+			return nil, false
+		}
+	}
+	return p.Wait(), true // every partial landed: fold without blocking
+}
+
+// At returns the logical landing time of the collective's payload at
+// this member (timed transports; zero otherwise). Valid once Wait or a
+// successful Test returned.
+func (p *Pending) At() float64 { return p.at }
+
+// PipelineRounds drives a broadcast–multiply round loop shared by the
+// COSMA and SUMMA rank programs: startA/startB post round seg's two
+// panel broadcasts (packing locally owned chunks) and mul folds a
+// settled round into the local tile, releasing the chunk buffers.
+//
+// With overlap false, each collective is settled — including its tree
+// relays — before the next is posted, so the timed transport charges
+// exactly the serial blocking-collective sequence. With overlap true,
+// the loop double-buffers: round i+1's broadcasts are posted before
+// round i's are settled, two loaned panel buffers per operand in
+// flight, and the tree traffic hides behind mul's compute (§7.3). The
+// mul call sequence is identical either way, so the computed values
+// are bitwise-equal across both modes.
+//
+// Keeping the segments identical is what buys that bitwise identity,
+// and it has a memory price: while round i multiplies, round i+1's
+// panel pair is already resident, so a rank transiently holds one
+// extra A+B chunk beyond the S words the plan's step size was fitted
+// to (up to ~2S − |C tile| at the memory-squeezed step). That is the
+// §7.3 trade — overlap spends buffer space to hide latency; callers
+// that must hold the fitted S exactly should run synchronously.
+//
+// Cancellation is polled once per round via r.Err; every rank sees the
+// same context, and a cancelled context also interrupts ranks already
+// parked in a Wait, so no rank is left behind.
+func PipelineRounds(r *machine.Rank, segs []layout.Range, overlap bool,
+	startA, startB func(layout.Range) *Pending,
+	mul func(seg layout.Range, aChunk, bChunk []float64)) error {
+	if !overlap {
+		for _, seg := range segs {
+			if err := r.Err(); err != nil {
+				return err
+			}
+			aChunk := startA(seg).Wait()
+			bChunk := startB(seg).Wait()
+			mul(seg, aChunk, bChunk)
+		}
+		return nil
+	}
+	nextA, nextB := startA(segs[0]), startB(segs[0])
+	for i, seg := range segs {
+		if err := r.Err(); err != nil {
+			return err
+		}
+		curA, curB := nextA, nextB
+		if i+1 < len(segs) {
+			nextA, nextB = startA(segs[i+1]), startB(segs[i+1])
+		}
+		mul(seg, curA.Wait(), curB.Wait())
+	}
+	return nil
+}
+
 // AllReduce sums the members' slices and distributes the total to every
 // member (reduce to index 0, then broadcast).
 func (g *Group) AllReduce(data []float64, tag int) []float64 {
@@ -125,7 +330,10 @@ func (g *Group) Gather(root int, data []float64, tag int) [][]float64 {
 	out := make([][]float64, len(g.ranks))
 	for i, id := range g.ranks {
 		if i == root {
-			cp := make([]float64, len(data))
+			// The root's own slot is a pooled copy, matching the Recv'd
+			// slots (and the zero-alloc discipline of Bcast/Reduce): the
+			// caller may Release every entry uniformly.
+			cp := machine.Loan(len(data))
 			copy(cp, data)
 			out[i] = cp
 			continue
@@ -149,7 +357,7 @@ func (g *Group) Scatter(root int, parts [][]float64, tag int) []float64 {
 			}
 			g.rank.Send(id, tag, parts[i])
 		}
-		cp := make([]float64, len(parts[root]))
+		cp := machine.Loan(len(parts[root]))
 		copy(cp, parts[root])
 		return cp
 	}

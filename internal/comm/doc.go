@@ -9,4 +9,12 @@
 // shape into the analytic latency models. The reduction ascends with
 // zero-copy loaned buffers from the machine pool, which is what keeps
 // the steady-state round loop allocation-free.
+//
+// Each collective also exists in asynchronous form (IBcast / IReduce
+// returning a Pending): posting returns immediately and settling with
+// Wait or Test drives the remaining hops, relaying payloads down (or
+// folding partials up) the tree stamped at the time they landed. The
+// pipelined round loops post the next round's collectives before the
+// current round's kernel call, hiding the tree traffic behind compute
+// (§7.3) while moving exactly the same words as the blocking forms.
 package comm

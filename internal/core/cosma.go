@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"cosma/internal/algo"
 	"cosma/internal/comm"
@@ -24,6 +25,12 @@ type COSMA struct {
 	// so the report carries runtime predictions; nil uses the counting
 	// transport.
 	Network *machine.NetworkParams
+	// Overlap software-pipelines the round loop (§7.3): each rank
+	// prefetches round i+1's A/B panels with non-blocking broadcasts
+	// while the kernel multiplies round i's, hiding communication
+	// behind compute. The product is bitwise-identical to the
+	// synchronous schedule.
+	Overlap bool
 }
 
 func init() {
@@ -33,7 +40,7 @@ func init() {
 		Order:      0,
 		Comparison: true,
 		New: func(cfg algo.Config) algo.Runner {
-			return &COSMA{Delta: cfg.Delta, Network: cfg.Network}
+			return &COSMA{Delta: cfg.Delta, Network: cfg.Network, Overlap: cfg.Overlap}
 		},
 	})
 }
@@ -64,6 +71,7 @@ type plan struct {
 	step          int
 	segs          [][]layout.Range // round segments per ik slab index
 	model         algo.Model
+	overlap       bool
 }
 
 // Plan implements algo.Planner: all grid fitting and round-schedule
@@ -88,7 +96,8 @@ func (c *COSMA) Plan(m, n, k, p, s int) (algo.Plan, error) {
 	return &plan{
 		m: m, n: n, k: k, p: p, s: s,
 		g: g, step: step, segs: segs,
-		model: modelFor(c.Name(), g, m, n, k, p, s),
+		model:   modelFor(c.Name(), g, m, n, k, p, s),
+		overlap: c.Overlap,
 	}, nil
 }
 
@@ -118,6 +127,9 @@ func (pl *plan) Dims() (m, n, k int) { return pl.m, pl.n, pl.k }
 
 // Model implements algo.Plan.
 func (pl *plan) Model() algo.Model { return pl.model }
+
+// Overlap implements algo.Overlapper: whether Execute pipelines rounds.
+func (pl *plan) Overlap() bool { return pl.overlap }
 
 // Decomposition implements algo.Decomposed: the §6.3 schedule geometry.
 func (pl *plan) Decomposition() algo.Decomposition {
@@ -198,34 +210,39 @@ func (pl *plan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *matrix.D
 	// contiguous k-range of each panel. Panel buffers are loaned from
 	// the machine pool and released once multiplied in, so the round
 	// loop allocates nothing at steady state.
-	for _, seg := range pl.segs[ik] {
-		// Cancellation is polled once per communication round: every
-		// rank sees the same ctx, and a cancelled ctx also interrupts
-		// ranks already parked in Recv, so no rank is left behind.
-		if err := r.Err(); err != nil {
-			return nil, err
+	//
+	// startA/startB post one round's panel broadcast: the owning rank
+	// packs its contiguous k-range into a loaned buffer and the group
+	// relays it down the binary tree. mulRound folds a settled round
+	// into the C tile and recycles the panel buffers. PipelineRounds
+	// sequences them — serially, or double-buffered under Overlap with
+	// round i+1's pair in flight while round i's is multiplied.
+	startA := func(seg layout.Range) *comm.Pending {
+		owner := ownerOf(aParts, seg.Lo)
+		var chunk []float64
+		if in == owner {
+			chunk = myA.View(0, seg.Lo-aParts[owner].Lo, dm, seg.Len()).Pack(machine.Loan(dm * seg.Len()))
 		}
-		aOwner := ownerOf(aParts, seg.Lo)
-		bOwner := ownerOf(bParts, seg.Lo)
-
-		var aChunk []float64
-		if in == aOwner {
-			aChunk = myA.View(0, seg.Lo-aParts[aOwner].Lo, dm, seg.Len()).Pack(machine.Loan(dm * seg.Len()))
+		return colGroup.IBcast(owner, chunk, tagA+seg.Lo)
+	}
+	startB := func(seg layout.Range) *comm.Pending {
+		owner := ownerOf(bParts, seg.Lo)
+		var chunk []float64
+		if im == owner {
+			chunk = myB.View(seg.Lo-bParts[owner].Lo, 0, seg.Len(), dn).Pack(machine.Loan(seg.Len() * dn))
 		}
-		aChunk = colGroup.Bcast(aOwner, aChunk, tagA+seg.Lo)
-
-		var bChunk []float64
-		if im == bOwner {
-			bChunk = myB.View(seg.Lo-bParts[bOwner].Lo, 0, seg.Len(), dn).Pack(machine.Loan(seg.Len() * dn))
-		}
-		bChunk = rowGroup.Bcast(bOwner, bChunk, tagB+seg.Lo)
-
+		return rowGroup.IBcast(owner, chunk, tagB+seg.Lo)
+	}
+	mulRound := func(seg layout.Range, aChunk, bChunk []float64) {
 		kern.Mul(cTile,
 			matrix.FromSlice(dm, seg.Len(), aChunk),
 			matrix.FromSlice(seg.Len(), dn, bChunk))
 		r.Compute(matrix.MulFlops(dm, dn, seg.Len()))
 		machine.Release(aChunk)
 		machine.Release(bChunk)
+	}
+	if err := comm.PipelineRounds(r, pl.segs[ik], pl.overlap, startA, startB, mulRound); err != nil {
+		return nil, err
 	}
 
 	// Reduce the partial C tiles along the fiber to the ik = 0 root.
@@ -261,7 +278,7 @@ func segments(extent int, aParts, bParts []layout.Range, step int) []layout.Rang
 	for c := range cuts {
 		points = append(points, c)
 	}
-	sortInts(points)
+	sort.Ints(points)
 	var out []layout.Range
 	for i := 0; i+1 < len(points); i++ {
 		for lo := points[i]; lo < points[i+1]; lo += step {
@@ -275,22 +292,15 @@ func segments(extent int, aParts, bParts []layout.Range, step int) []layout.Rang
 	return out
 }
 
-// ownerOf returns the index of the partition member containing position x.
+// ownerOf returns the index of the partition member containing position
+// x. The members are sorted, disjoint and contiguous, so the owner is
+// found by binary search — this runs twice per round on every rank.
 func ownerOf(parts []layout.Range, x int) int {
-	for i, r := range parts {
-		if x >= r.Lo && x < r.Hi {
-			return i
-		}
+	i := sort.Search(len(parts), func(i int) bool { return parts[i].Hi > x })
+	if i == len(parts) || x < parts[i].Lo {
+		panic(fmt.Sprintf("core: position %d outside partition", x))
 	}
-	panic(fmt.Sprintf("core: position %d outside partition", x))
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
+	return i
 }
 
 // Model implements algo.Planner: the analytic prediction derived from

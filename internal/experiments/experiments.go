@@ -30,6 +30,14 @@ func RunnersNet(net *machine.NetworkParams) []algo.Runner {
 	return algo.Comparison(algo.Config{Network: net})
 }
 
+// RunnersOverlap returns the comparison algorithms with round-loop
+// pipelining enabled, so timed comparisons pit overlapped COSMA against
+// overlapped SUMMA (the algorithms without a pipelined path run
+// synchronously, as ever).
+func RunnersOverlap(net *machine.NetworkParams) []algo.Runner {
+	return algo.Comparison(algo.Config{Network: net, Overlap: true})
+}
+
 const wordsToMB = 8.0 / 1e6
 
 // perUsedRecv converts a model's all-rank average received words into the

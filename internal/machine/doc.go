@@ -20,6 +20,18 @@
 // NetworkParams.WithGamma substitutes a measured compute constant
 // (matrix.Calibrate) into a preset.
 //
+// Point-to-point operations exist in blocking (Send/Recv) and
+// non-blocking (ISend/IRecv returning a Request with Wait/Test) form.
+// On the timed transport the two differ in cost semantics, not just
+// control flow: a blocking receive charges its β·words serially on the
+// receiver's clock, while a posted IRecv's transfer runs on the rank's
+// ingress port concurrently with subsequent compute and only extends
+// the clock if it outlives it — the §7.3 communication–computation
+// overlap, which is what lets one schedule executed both ways measure
+// the Figure 12 gain on its critical path. SendAt relays a payload
+// stamped at its landing time, the primitive behind pipelined
+// collective trees.
+//
 // A sync.Pool-backed buffer discipline (Loan / Release / SendOwned)
 // lets schedules move panels zero-copy, which is what keeps the
 // steady-state round loops allocation-free.

@@ -300,6 +300,61 @@ func (r *Rank) Recv(src, tag int) []float64 {
 	return r.m.t.Recv(r.id, src, tag)
 }
 
+// ISend posts a non-blocking copy-send to dst and returns its Request.
+// Both transports buffer eagerly, so the request is complete at post
+// time; it exists so pipelined code can treat all its outstanding
+// operations uniformly.
+func (r *Rank) ISend(dst, tag int, data []float64) Request {
+	r.checkPeer(dst, "sends to")
+	return r.m.t.ISend(r.id, dst, tag, data, false)
+}
+
+// ISendOwned is ISend with zero-copy ownership transfer of data to the
+// transport; the caller must not touch data afterwards.
+func (r *Rank) ISendOwned(dst, tag int, data []float64) Request {
+	r.checkPeer(dst, "sends to")
+	return r.m.t.ISend(r.id, dst, tag, data, true)
+}
+
+// IRecv posts a non-blocking receive matched on (src, tag) and returns
+// its Request; settle it with Wait or Test. On the timed transport the
+// transfer is charged to this rank's ingress port concurrently with any
+// compute performed before settling — communication is hidden up to the
+// compute time (§7.3) — whereas a blocking Recv serializes on the
+// rank's clock. The payload buffer is owned by the caller exactly as
+// with Recv.
+func (r *Rank) IRecv(src, tag int) Request {
+	r.checkPeer(src, "receives from")
+	return r.m.t.IRecv(r.id, src, tag)
+}
+
+// SendAt delivers a copy of data to dst stamped as departing at logical
+// time at instead of this rank's current clock — the relay primitive of
+// the async tree collectives, which forward a payload the moment it
+// landed even though the relaying rank's clock has already advanced
+// past that moment under overlapped compute. On untimed machines it is
+// Send.
+func (r *Rank) SendAt(dst, tag int, data []float64, at float64) {
+	r.checkPeer(dst, "sends to")
+	r.m.t.SendAt(r.id, dst, tag, data, false, at)
+}
+
+// SendOwnedAt is SendAt with zero-copy ownership transfer of data.
+func (r *Rank) SendOwnedAt(dst, tag int, data []float64, at float64) {
+	r.checkPeer(dst, "sends to")
+	r.m.t.SendAt(r.id, dst, tag, data, true, at)
+}
+
+// Now returns this rank's current logical clock in seconds on a timed
+// machine and zero on a counting one — the ready-time an async
+// reduction stamps its own contribution with.
+func (r *Rank) Now() float64 {
+	if ts := r.m.t.Times(); ts != nil {
+		return ts[r.id]
+	}
+	return 0
+}
+
 // Compute registers flops floating-point operations of local work —
 // algorithms call it around their kernel invocations so the timed
 // transport can charge γ·flops to this rank's clock.

@@ -1,0 +1,119 @@
+package machine
+
+// Request is a handle on a non-blocking point-to-point operation
+// (Transport.ISend / Transport.IRecv). It is the MPI_Request of this
+// simulated machine: the posting rank continues immediately and settles
+// the operation later with Wait or Test, which is what lets a round loop
+// compute on round i's panels while round i+1's are still in flight.
+//
+// A Request is owned by the rank that posted it and must only be used
+// from that rank's goroutine.
+type Request interface {
+	// Wait blocks until the operation completes and returns the received
+	// payload (nil for sends). The caller owns the returned buffer and
+	// may hand it back with Release once dead. Waiting again returns the
+	// same payload. A Wait parked while the run is interrupted (peer
+	// failure or context cancellation) unwinds with the machine's
+	// cancellation panic, exactly like a blocking Recv.
+	Wait() []float64
+	// Test polls for completion without blocking: it returns (payload,
+	// true) once the operation has completed and (nil, false) while it is
+	// still in flight. After a successful Test, Wait returns the same
+	// payload without blocking.
+	Test() ([]float64, bool)
+	// At returns the logical time in seconds at which the payload landed
+	// (transfer completion on the receiver's ingress port). It is zero on
+	// untimed transports and before completion, and is the stamp a
+	// collective tree relays a payload onward with — crediting the relay
+	// to the moment the data arrived, not to wherever the relaying rank's
+	// compute-advanced clock happens to be.
+	At() float64
+}
+
+// completedRequest is an already-settled operation: sends on the eager
+// transports complete at post time, as do zero-hop collective legs.
+type completedRequest struct {
+	data []float64
+	at   float64
+}
+
+func (r completedRequest) Wait() []float64         { return r.data }
+func (r completedRequest) Test() ([]float64, bool) { return r.data, true }
+func (r completedRequest) At() float64             { return r.at }
+
+// countingRecv is a pending receive on the counting transport: posting
+// records the match key only, and Wait/Test perform the (possibly
+// blocking) mailbox take. The counting transport has no clocks, so
+// completion carries no timestamp.
+type countingRecv struct {
+	t             *counting
+	dst, src, tag int
+	done          bool
+	data          []float64
+}
+
+func (r *countingRecv) Wait() []float64 {
+	if !r.done {
+		r.data = r.t.take(r.dst, r.src, r.tag).data
+		r.done = true
+	}
+	return r.data
+}
+
+func (r *countingRecv) Test() ([]float64, bool) {
+	if r.done {
+		return r.data, true
+	}
+	e, ok := r.t.tryTake(r.dst, r.src, r.tag)
+	if !ok {
+		return nil, false
+	}
+	r.data = e.data
+	r.done = true
+	return r.data, true
+}
+
+func (r *countingRecv) At() float64 { return 0 }
+
+// timedRecv is a pending receive on the timed transport. Settling it
+// advances the receiver's ingress port, not (directly) its compute
+// clock: the β·words transfer runs on the port from the moment the
+// message is available, concurrently with whatever the rank computed
+// between posting and settling, and Wait only drags the rank's clock
+// forward if the transfer finishes after it — communication hidden up
+// to the compute time, the §7.3 overlap semantics.
+type timedRecv struct {
+	t             *timed
+	dst, src, tag int
+	post          float64 // receiver's clock when the request was posted
+	done          bool
+	data          []float64
+	at            float64
+}
+
+func (r *timedRecv) Wait() []float64 {
+	if !r.done {
+		r.settle(r.t.take(r.dst, r.src, r.tag))
+	}
+	return r.data
+}
+
+func (r *timedRecv) Test() ([]float64, bool) {
+	if r.done {
+		return r.data, true
+	}
+	e, ok := r.t.tryTake(r.dst, r.src, r.tag)
+	if !ok {
+		return nil, false
+	}
+	r.settle(e)
+	return r.data, true
+}
+
+func (r *timedRecv) settle(e envelope) {
+	r.data = e.data
+	r.at = r.t.land(r.dst, r.src, e, r.post)
+	r.done = true
+}
+
+func (r *timedRecv) At() float64 { return r.at }

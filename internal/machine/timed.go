@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -22,6 +23,17 @@ type NetworkParams struct {
 // no overlap.
 func (n NetworkParams) Time(flops, words, msgs float64) float64 {
 	return n.Gamma*flops + n.Beta*words + n.Alpha*msgs
+}
+
+// TimeOverlap is the analytic evaluation with full communication–
+// computation overlap (§7.3): the compute and communication phases hide
+// each other, so the runtime is their maximum instead of their sum —
+// the perfmodel.Machine{Overlap: true} semantics expressed in α-β-γ
+// form.
+func (n NetworkParams) TimeOverlap(flops, words, msgs float64) float64 {
+	compute := n.Gamma * flops
+	comms := n.Beta*words + n.Alpha*msgs
+	return math.Max(compute, comms)
 }
 
 // WithGamma returns a copy of the network with the compute constant γ
@@ -108,10 +120,30 @@ func NetworkByName(name string) (NetworkParams, error) {
 // maximum clock is the critical-path runtime of the executed schedule —
 // tree collectives pay their depth in α and β without any collective-
 // aware bookkeeping.
+//
+// Non-blocking receives additionally model overlap (§7.3): each rank
+// owns an ingress port whose free time advances independently of the
+// rank's compute clock. A posted IRecv's β·words transfer occupies the
+// port from the moment the message is available (and the port free),
+// concurrently with whatever the rank computes before settling the
+// request; Wait only drags the compute clock forward if the transfer
+// outlives the compute. Blocking Recv keeps the serial semantics above
+// — so one schedule executed both ways measures exactly the Figure 12
+// overlap gain on its critical path.
 type timed struct {
 	*counting
 	net   NetworkParams
 	clock []float64
+	// ingress[i] is the time rank i's ingress port is next free. Only
+	// rank i's own goroutine touches it (transfers are accounted when
+	// that rank settles the receive), so it needs no lock.
+	ingress []float64
+	// egress[i] is the time rank i's injection port last released a
+	// departure. Relayed sends (SendAt) serialize against it, so a node
+	// forwarding to several children charges each child one more α —
+	// exactly the blocking collective's per-child injection sequence.
+	// Touched only by rank i's own goroutine, like ingress.
+	egress []float64
 }
 
 func newTimed(p int, net NetworkParams) *timed {
@@ -119,6 +151,8 @@ func newTimed(p int, net NetworkParams) *timed {
 		counting: newCounting(p, true),
 		net:      net,
 		clock:    make([]float64, p),
+		ingress:  make([]float64, p),
+		egress:   make([]float64, p),
 	}
 }
 
@@ -128,22 +162,85 @@ func newTimed(p int, net NetworkParams) *timed {
 func (t *timed) Send(src, dst, tag int, data []float64, owned bool) {
 	if src != dst {
 		t.clock[src] += t.net.Alpha
+		if t.clock[src] > t.egress[src] {
+			t.egress[src] = t.clock[src]
+		}
 	}
 	t.post(src, dst, tag, data, owned, t.clock[src])
 }
 
+// SendAt implements Transport: the relay departs at the stamped time
+// (the moment the payload landed at the relaying rank) plus α, not at
+// the rank's compute-advanced clock — this is what keeps a pipelined
+// tree collective's downstream hops overlapped with the upstream ranks'
+// compute. Departures still serialize on the injection port: a node
+// relaying to several children charges each successive child one more
+// α, matching the blocking collective's send sequence. Posting also
+// costs the sender α of clock time.
+func (t *timed) SendAt(src, dst, tag int, data []float64, owned bool, at float64) {
+	if src == dst {
+		t.post(src, dst, tag, data, owned, t.clock[src])
+		return
+	}
+	t.clock[src] += t.net.Alpha
+	if t.egress[src] > at {
+		at = t.egress[src]
+	}
+	dep := at + t.net.Alpha
+	t.egress[src] = dep
+	t.post(src, dst, tag, data, owned, dep)
+}
+
 // Recv implements Transport: the receiver waits for the message's
-// departure time, then pays β per word on its ingress port.
+// departure time, then pays β per word on its ingress port, serially on
+// its own clock — a blocking receive is a receive posted and settled at
+// the same instant, so no part of the transfer can hide behind compute
+// (the no-overlap path). Equivalent to IRecv immediately followed by
+// Wait.
 func (t *timed) Recv(dst, src, tag int) []float64 {
 	e := t.take(dst, src, tag)
-	if src != dst {
-		c := t.clock[dst]
-		if e.at > c {
-			c = e.at
-		}
-		t.clock[dst] = c + t.net.Beta*float64(len(e.data))
-	}
+	t.land(dst, src, e, t.clock[dst])
 	return e.data
+}
+
+// ISend implements Transport: identical cost to Send (eager buffering
+// completes the operation at post time).
+func (t *timed) ISend(src, dst, tag int, data []float64, owned bool) Request {
+	t.Send(src, dst, tag, data, owned)
+	return completedRequest{at: t.clock[src]}
+}
+
+// IRecv implements Transport: the transfer is accounted on the
+// receiver's ingress port when the request settles, and cannot have
+// started before the post time recorded here — so a receive posted
+// early overlaps subsequent compute, while one posted and settled
+// back-to-back degenerates to exactly the blocking Recv cost.
+func (t *timed) IRecv(dst, src, tag int) Request {
+	return &timedRecv{t: t, dst: dst, src: src, tag: tag, post: t.clock[dst]}
+}
+
+// land accounts a settled non-blocking receive: the β·words transfer
+// occupied the ingress port from max(port free, message departure,
+// request post time) — independent of the compute clock after the post
+// — and the clock only advances if the transfer finished after it. It
+// returns the transfer completion time, the stamp relays carry onward.
+func (t *timed) land(dst, src int, e envelope, post float64) float64 {
+	if src == dst {
+		return t.clock[dst]
+	}
+	start := t.ingress[dst]
+	if e.at > start {
+		start = e.at
+	}
+	if post > start {
+		start = post
+	}
+	done := start + t.net.Beta*float64(len(e.data))
+	t.ingress[dst] = done
+	if done > t.clock[dst] {
+		t.clock[dst] = done
+	}
+	return done
 }
 
 // Compute implements Transport.
@@ -164,6 +261,14 @@ func (t *timed) BarrierSync() {
 	}
 	for i := range t.clock {
 		t.clock[i] = max
+		// An idle port is free from the barrier time on; a port still
+		// busy with an unsettled transfer keeps its later time.
+		if t.ingress[i] < max {
+			t.ingress[i] = max
+		}
+		if t.egress[i] < max {
+			t.egress[i] = max
+		}
 	}
 }
 
@@ -172,6 +277,8 @@ func (t *timed) Reset() {
 	t.counting.Reset()
 	for i := range t.clock {
 		t.clock[i] = 0
+		t.ingress[i] = 0
+		t.egress[i] = 0
 	}
 }
 

@@ -22,6 +22,23 @@ type Transport interface {
 	// delivered in send order. The caller owns the returned buffer and
 	// may hand it back with Release once dead.
 	Recv(dst, src, tag int) []float64
+	// ISend posts a non-blocking send and returns its Request. Both
+	// transports buffer eagerly, so the operation completes at post
+	// time; on the timed transport the departure is stamped from the
+	// sender's current clock exactly like Send.
+	ISend(src, dst, tag int, data []float64, owned bool) Request
+	// IRecv posts a non-blocking receive matched on (src, tag) at dst
+	// and returns its Request. On the timed transport the transfer is
+	// accounted on the receiver's ingress port, concurrent with any
+	// compute the rank performs before settling the request.
+	IRecv(dst, src, tag int) Request
+	// SendAt delivers data stamped as departing at logical time at
+	// (plus α) instead of the sender's current clock — the relay
+	// primitive of the async tree collectives, which forward a payload
+	// onward at the moment it landed even though the relaying rank's
+	// clock has already been advanced past that moment by overlapped
+	// compute. Untimed transports treat it exactly as Send.
+	SendAt(src, dst, tag int, data []float64, owned bool, at float64)
 	// Compute charges flops floating-point operations to rank.
 	Compute(rank int, flops int64)
 	// BarrierSync runs once per completed machine barrier, with every
@@ -195,14 +212,58 @@ func (t *counting) take(dst, src, tag int) envelope {
 	return e
 }
 
+// tryTake is the non-blocking variant of take behind Request.Test: it
+// pops a pending message if one has arrived and reports false
+// otherwise. Like take, an interrupted office with nothing left to
+// drain unwinds the rank with the cancellation panic.
+func (t *counting) tryTake(dst, src, tag int) (envelope, bool) {
+	po := t.office[dst]
+	po.mu.Lock()
+	q := po.slot(mailKey{src: src, tag: tag})
+	if q.empty() {
+		closed := po.closed
+		po.mu.Unlock()
+		if closed {
+			panic(interruptedPanic{})
+		}
+		return envelope{}, false
+	}
+	e := q.pop()
+	po.mu.Unlock()
+	if src != dst {
+		t.count[dst].RecvWords += int64(len(e.data))
+		t.count[dst].RecvMsgs++
+	}
+	return e, true
+}
+
 // Send implements Transport.
 func (t *counting) Send(src, dst, tag int, data []float64, owned bool) {
+	t.post(src, dst, tag, data, owned, 0)
+}
+
+// SendAt implements Transport: the counting transport has no clocks, so
+// a relayed send is an ordinary send.
+func (t *counting) SendAt(src, dst, tag int, data []float64, owned bool, at float64) {
 	t.post(src, dst, tag, data, owned, 0)
 }
 
 // Recv implements Transport.
 func (t *counting) Recv(dst, src, tag int) []float64 {
 	return t.take(dst, src, tag).data
+}
+
+// ISend implements Transport: sends buffer eagerly, so the request is
+// already complete.
+func (t *counting) ISend(src, dst, tag int, data []float64, owned bool) Request {
+	t.post(src, dst, tag, data, owned, 0)
+	return completedRequest{}
+}
+
+// IRecv implements Transport: the match key is recorded now, the
+// mailbox take happens at Wait/Test.
+func (t *counting) IRecv(dst, src, tag int) Request {
+	return &countingRecv{t: t, dst: dst, src: src, tag: tag}
 }
 
 // Compute implements Transport.
