@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-overlap bench-overlap-smoke
+.PHONY: build test race test-noasm bench-overlap bench-overlap-smoke bench-kernel bench-kernel-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# test-noasm exercises the portable-only build: every SIMD micro-kernel
+# and its assembly is excluded, so the Go 4×4 fallback path must stand
+# on its own.
+test-noasm:
+	$(GO) test -tags noasm ./...
 
 # bench-overlap emits BENCH_overlap.json: warm Engine.Exec wall-clock
 # with the pipelined round loop on vs off at 256^3 and 512^3 on p=16
@@ -27,3 +33,18 @@ bench-overlap:
 # margin).
 bench-overlap-smoke:
 	$(GO) run ./cmd/benchoverlap -sizes 256,512 -procs 16 -reps 5 -out BENCH_overlap.json -guard 1.05
+
+# bench-kernel emits BENCH_kernel.json: naive / packed-Go / packed-SIMD
+# / autotuned Gflop/s at 256^3, 512^3 and 1024^3 (naive skipped above
+# 512), best-of-5, and fails if packed-SIMD falls under 2x packed-Go at
+# >= 512^3 or autotuning costs more than 5% against the best fixed tier.
+bench-kernel:
+	$(GO) run ./cmd/benchkernel -sizes 256,512,1024 -reps 5 -out BENCH_kernel.json -guard-simd 2.0 -guard-tuned 0.95
+
+# The CI smoke: identical artifact and guards, smaller sizes and
+# best-of-3 so the shared runner finishes quickly; the 2x SIMD bar is
+# conservative enough (locally ~7-8x) that runner noise cannot fake a
+# regression, and the tuned guard compares two measurements from the
+# same process so noise hits both sides alike.
+bench-kernel-smoke:
+	$(GO) run ./cmd/benchkernel -sizes 256,512 -reps 3 -out BENCH_kernel.json -guard-simd 2.0 -guard-tuned 0.95

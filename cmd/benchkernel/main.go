@@ -1,0 +1,154 @@
+// Command benchkernel measures the local packed GEMM kernel across its
+// dispatch tiers — textbook naive, packed portable Go 4×4, packed SIMD
+// (the best micro-kernel variant this CPU supports) and autotuned —
+// and emits the Gflop/s comparison as JSON, the artifact CI archives
+// as BENCH_kernel.json and gates on:
+//
+//	benchkernel [-sizes 256,512,1024] [-threads 1] [-reps 5]
+//	            [-out BENCH_kernel.json] [-guard-simd 2.0]
+//	            [-guard-tuned 0.95]
+//
+// Each configuration runs one untimed warm-up (pack buffers, page
+// faults) then reps timed multiplications and keeps the fastest, which
+// suppresses scheduler noise. The naive tier is skipped above 512³ —
+// at 1024³ the triple loop alone would dominate the whole run's
+// wall-clock without adding information.
+//
+// Two regression gates:
+//
+//   - -guard-simd g: on sizes ≥ 512, if a SIMD variant is available it
+//     must reach at least g× the packed-Go throughput (0 disables; a
+//     portable-only build passes vacuously).
+//   - -guard-tuned f: the autotuned configuration must reach at least
+//     f× the best untimed-search tier (max of packed-Go and
+//     packed-SIMD) on every size — the "tuning must never cost more
+//     than noise" gate; f = 0.95 allows 5% measurement jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cosma/internal/matrix"
+)
+
+// result is one size's measurement set, serialized into the JSON
+// artifact. Zero-valued omitempty fields mark skipped tiers (naive
+// above 512, SIMD on a portable-only build).
+type result struct {
+	N           int     `json:"n"`       // square problem size (m = n = k)
+	Threads     int     `json:"threads"` // kernel worker bound
+	Reps        int     `json:"reps"`    // timed repetitions (fastest kept)
+	Naive       float64 `json:"naive_gflops,omitempty"`
+	PackedGo    float64 `json:"packed_go_gflops"`
+	PackedSIMD  float64 `json:"packed_simd_gflops,omitempty"`
+	SIMDVariant string  `json:"simd_variant,omitempty"`
+	SIMDOverGo  float64 `json:"simd_over_go,omitempty"`
+	Tuned       float64 `json:"tuned_gflops"`
+	TunedConfig string  `json:"tuned_config"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchkernel: ")
+	sizes := flag.String("sizes", "256,512,1024", "comma-separated square problem sizes")
+	threads := flag.Int("threads", 1, "kernel worker bound (1 isolates the micro-kernel)")
+	reps := flag.Int("reps", 5, "timed repetitions per tier (fastest kept)")
+	out := flag.String("out", "BENCH_kernel.json", "output JSON path ('-' for stdout)")
+	guardSIMD := flag.Float64("guard-simd", 2.0,
+		"fail if packed-SIMD < this factor × packed-Go on sizes ≥ 512 (0 disables)")
+	guardTuned := flag.Float64("guard-tuned", 0.95,
+		"fail if tuned < this factor × best untuned tier on any size (0 disables)")
+	flag.Parse()
+
+	simd := matrix.BestVariant()
+	log.Printf("variants available: %v, best %s", matrix.Variants(), simd)
+
+	var results []result
+	for _, field := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			log.Fatalf("invalid size %q", field)
+		}
+		results = append(results, measure(n, *threads, *reps, simd))
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	failed := false
+	for _, r := range results {
+		if *guardSIMD > 0 && r.N >= 512 && r.PackedSIMD > 0 && r.PackedSIMD < *guardSIMD*r.PackedGo {
+			log.Printf("guard failed: n=%d packed-SIMD %.2f < %.2f× packed-Go %.2f Gflop/s",
+				r.N, r.PackedSIMD, *guardSIMD, r.PackedGo)
+			failed = true
+		}
+		if best := max(r.PackedGo, r.PackedSIMD); *guardTuned > 0 && r.Tuned < *guardTuned*best {
+			log.Printf("guard failed: n=%d tuned %.2f < %.2f× best untuned %.2f Gflop/s",
+				r.N, r.Tuned, *guardTuned, best)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// measure times every tier on one problem size and logs the row.
+func measure(n, threads, reps int, simd matrix.Variant) result {
+	rng := rand.New(rand.NewSource(7))
+	a := matrix.Random(n, n, rng)
+	b := matrix.Random(n, n, rng)
+	c := matrix.New(n, n)
+
+	r := result{N: n, Threads: threads, Reps: reps}
+	if n <= 512 {
+		r.Naive = gflops(n, reps, func() { matrix.MulNaive(c, a, b) })
+	}
+	goKern := matrix.NewKernelParams(threads, matrix.Params{Variant: matrix.VariantGo4x4})
+	r.PackedGo = gflops(n, reps, func() { goKern.Mul(c, a, b) })
+	if simd != matrix.VariantGo4x4 {
+		simdKern := matrix.NewKernelParams(threads, matrix.Params{Variant: simd})
+		r.PackedSIMD = gflops(n, reps, func() { simdKern.Mul(c, a, b) })
+		r.SIMDVariant = simd.String()
+		r.SIMDOverGo = r.PackedSIMD / r.PackedGo
+	}
+	tp := matrix.Tune(n, threads)
+	tunedKern := matrix.NewKernelParams(threads, tp.Params)
+	r.Tuned = gflops(n, reps, func() { tunedKern.Mul(c, a, b) })
+	r.TunedConfig = fmt.Sprintf("%s mc=%d kc=%d nc=%d", tp.Variant, tp.MC, tp.KC, tp.NC)
+
+	log.Printf("n=%d t=%d: naive %.2f, packed-go %.2f, packed-simd %.2f (%s), tuned %.2f Gflop/s [%s]",
+		n, threads, r.Naive, r.PackedGo, r.PackedSIMD, r.SIMDVariant, r.Tuned, r.TunedConfig)
+	return r
+}
+
+// gflops runs mul once untimed then reps timed and converts the
+// fastest repetition to Gflop/s.
+func gflops(n, reps int, mul func()) float64 {
+	mul()
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		mul()
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return float64(matrix.MulFlops(n, n, n)) / best.Seconds() / 1e9
+}

@@ -84,19 +84,49 @@ func SharedMemoryNetwork() NetworkParams { return machine.SharedMemory() }
 func NetworkByName(name string) (NetworkParams, error) { return machine.NetworkByName(name) }
 
 // Calibration is the measured local-compute profile of this machine:
-// the packed kernel's sustained Gflop/s and its reciprocal γ in seconds
-// per flop.
+// the packed kernel's sustained Gflop/s (and the micro-kernel variant
+// it dispatched to) and its reciprocal γ in seconds per flop.
 type Calibration = matrix.Calibration
 
 // Calibrate measures the packed local GEMM kernel on this machine
 // (n <= 0 picks the default problem size, threads <= 0 means GOMAXPROCS)
-// and returns the measured γ. Substitute it into a network preset to
-// make predictions charge compute at the achieved, not assumed, rate:
+// and returns the measured γ. The kernel dispatches to the best SIMD
+// micro-kernel variant the CPU supports — the same default executions
+// use — and the result names it. Measurements are memoized per
+// (n, threads) for the process lifetime. Substitute the result into a
+// network preset to make predictions charge compute at the achieved,
+// not assumed, rate:
 //
 //	cal := cosma.Calibrate(0, 0)
 //	eng, _ := cosma.NewEngine(cosma.WithProcs(p),
 //	    cosma.WithNetwork(cosma.PizDaintNetwork().WithGamma(cal.Gamma)))
 func Calibrate(n, threads int) Calibration { return matrix.Calibrate(n, threads) }
+
+// TunedParams is an autotuned local-kernel configuration: the
+// cache-block sizes and register micro-kernel variant the Tune search
+// measured fastest for one problem-size class and thread count.
+type TunedParams = matrix.TunedParams
+
+// Tune autotunes the packed local GEMM kernel for n×n×n problems with
+// the given worker bound (n <= 0 picks the default size class,
+// threads <= 0 means GOMAXPROCS): a coordinate-descent search over
+// cache-block sizes (mc, kc, nc) and every micro-kernel variant this
+// CPU supports, each candidate timed with the calibration harness.
+// Results are cached process-wide per (n, threads) — the same cache
+// engines built WithAutotune read — so repeated calls are free.
+func Tune(n, threads int) TunedParams { return matrix.Tune(n, threads) }
+
+// KernelVariants names the register micro-kernel variants available
+// in this binary on this CPU (e.g. "go4x4", "avx2-8x4"), portable
+// fallback first — the set Tune searches and Calibrate reports from.
+func KernelVariants() []string {
+	vs := matrix.Variants()
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = v.String()
+	}
+	return names
+}
 
 // NewMatrix returns a zeroed r×c matrix.
 func NewMatrix(r, c int) *Matrix { return matrix.New(r, c) }
@@ -133,6 +163,9 @@ type Options struct {
 	// next round's panels while the kernel multiplies the current ones;
 	// the product is bitwise-identical to the synchronous schedule.
 	Overlap bool
+	// Autotune runs the rank-local GEMM kernels with autotuned block
+	// sizes and micro-kernel variant (see WithAutotune).
+	Autotune bool
 }
 
 // Multiply computes C = A·B with COSMA on the simulated distributed
@@ -154,7 +187,7 @@ func Multiply(a, b *Matrix, opts Options) (*Matrix, *Report, error) {
 // options, so the deprecated shims and the engine share one
 // normalization path.
 func engineOptions(opts Options) []Option {
-	eopts := []Option{WithProcs(opts.Procs), WithMemory(opts.Memory), WithDelta(opts.Delta), WithOverlap(opts.Overlap)}
+	eopts := []Option{WithProcs(opts.Procs), WithMemory(opts.Memory), WithDelta(opts.Delta), WithOverlap(opts.Overlap), WithAutotune(opts.Autotune)}
 	if opts.Network != nil {
 		eopts = append(eopts, WithNetwork(*opts.Network))
 	}

@@ -56,6 +56,7 @@ type planKey struct {
 	net       NetworkParams // zero value when counting
 	timed     bool
 	overlap   bool
+	autotune  bool
 }
 
 type engineConfig struct {
@@ -67,6 +68,7 @@ type engineConfig struct {
 	cacheSize     int
 	kernelThreads int
 	overlap       bool
+	autotune      bool
 	err           error // first option error, surfaced by NewEngine
 }
 
@@ -134,6 +136,23 @@ func WithNetwork(net NetworkParams) Option {
 // true peak residency.
 func WithOverlap(on bool) Option {
 	return func(c *engineConfig) { c.overlap = on }
+}
+
+// WithAutotune runs every rank's local GEMM kernel with autotuned
+// parameters instead of the package defaults: the cache-block sizes
+// (mc, kc, nc) and the register micro-kernel variant (portable Go,
+// AVX2/FMA or NEON — whatever this CPU supports) found by a
+// coordinate-descent search over a small candidate lattice, timed
+// with the calibration harness. Searches are cached process-wide per
+// (problem size class, kernel threads) — a small tuned-parameter
+// cache beside the engine's plan cache — so the sub-second search
+// runs once per class and every executor after that reads the cache.
+// Tuning changes throughput only, never results: all variants keep
+// the fixed per-element accumulation order, so a tuned kernel is
+// bitwise-identical across thread counts like the default one (though
+// FMA variants round differently than the portable tile).
+func WithAutotune(on bool) Option {
+	return func(c *engineConfig) { c.autotune = on }
 }
 
 // WithAlgorithm selects the multiplication algorithm by registry name
@@ -223,6 +242,10 @@ func (e *Engine) KernelThreads() int { return e.cfg.kernelThreads }
 // (communication–computation overlap, WithOverlap).
 func (e *Engine) Overlap() bool { return e.cfg.overlap }
 
+// Autotune reports whether rank kernels run with autotuned block
+// sizes and micro-kernel variant (WithAutotune).
+func (e *Engine) Autotune() bool { return e.cfg.autotune }
+
 // Network returns the engine's α-β-γ parameters and true when runs
 // execute on the timed transport.
 func (e *Engine) Network() (NetworkParams, bool) {
@@ -240,6 +263,7 @@ func (e *Engine) key(m, n, k int) planKey {
 		delta: e.cfg.delta,
 	}
 	key.overlap = e.cfg.overlap
+	key.autotune = e.cfg.autotune
 	if e.cfg.network != nil {
 		key.net, key.timed = *e.cfg.network, true
 	}
@@ -267,7 +291,7 @@ func (e *Engine) Plan(ctx context.Context, m, n, k int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{inner: inner, network: e.cfg.network, kernelThreads: e.cfg.kernelThreads}
+	p := &Plan{inner: inner, network: e.cfg.network, kernelThreads: e.cfg.kernelThreads, autotune: e.cfg.autotune}
 	e.plans.Add(key, p)
 	e.misses++
 	return p, nil

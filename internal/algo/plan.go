@@ -91,12 +91,20 @@ type Executor struct {
 // one (max(1, GOMAXPROCS / ranks used)), so a single-rank plan on an
 // idle machine multiplies with every core while a fully-populated
 // simulation stays one-goroutine-per-rank.
-func NewExecutor(p Plan, net *machine.NetworkParams, kernelThreads int) *Executor {
+//
+// With autotune set, the arena's kernels run with autotuned block
+// sizes and micro-kernel variant instead of the package defaults: the
+// plan's per-rank local work is snapped to a tuning size class
+// (matrix.SizeClass) and the class's cached search result
+// (matrix.Tune, memoized per (class, threads) process-wide) is
+// applied. The first executor for a new (class, threads) pair pays
+// the sub-second search; every later one reads the cache.
+func NewExecutor(p Plan, net *machine.NetworkParams, kernelThreads int, autotune bool) *Executor {
+	used := p.Used()
+	if used < 1 {
+		used = 1
+	}
 	if kernelThreads <= 0 {
-		used := p.Used()
-		if used < 1 {
-			used = 1
-		}
 		kernelThreads = runtime.GOMAXPROCS(0) / used
 		if kernelThreads < 1 {
 			kernelThreads = 1
@@ -104,6 +112,11 @@ func NewExecutor(p Plan, net *machine.NetworkParams, kernelThreads int) *Executo
 	}
 	scratch := NewArena(p.Procs())
 	scratch.kernelThreads = kernelThreads
+	if autotune {
+		m, n, k := p.Dims()
+		tp := matrix.Tune(matrix.SizeClass(m, n, k, used), kernelThreads)
+		scratch.tuned = &tp
+	}
 	return &Executor{
 		plan:    p,
 		mach:    machine.NewWithNetwork(p.Procs(), net),
@@ -150,7 +163,7 @@ func RunPlanner(pl Planner, net *machine.NetworkParams, a, b *matrix.Dense, p, s
 	if err != nil {
 		return nil, nil, err
 	}
-	return NewExecutor(plan, net, 0).Exec(context.Background(), a, b)
+	return NewExecutor(plan, net, 0, false).Exec(context.Background(), a, b)
 }
 
 // Arena is a set of per-rank scratch matrices and GEMM kernels reused
@@ -166,6 +179,10 @@ type Arena struct {
 	// kernelThreads bounds each rank kernel's worker pool; ≤ 0 means
 	// serial. NewExecutor resolves the GOMAXPROCS-aware default here.
 	kernelThreads int
+	// tuned, when set, supplies autotuned kernel parameters (cache
+	// blocks + micro-kernel variant) for every rank kernel the arena
+	// creates; nil means the package defaults.
+	tuned *matrix.TunedParams
 }
 
 type rankScratch struct {
@@ -193,7 +210,11 @@ func (a *Arena) Kernel(rank int) *matrix.Kernel {
 		if t < 1 {
 			t = 1
 		}
-		rs.kern = matrix.NewKernel(t)
+		if a.tuned != nil {
+			rs.kern = matrix.NewKernelParams(t, a.tuned.Params)
+		} else {
+			rs.kern = matrix.NewKernel(t)
+		}
 	}
 	return rs.kern
 }

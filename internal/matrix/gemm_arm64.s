@@ -1,0 +1,119 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func kernelNEON_8x4(c *float64, cstride, kb int, ap, bp *float64)
+//
+// The ASIMD register micro-kernel: an 8×4 tile of C in sixteen
+// 128-bit accumulators V0..V15 (row r in V(2r), V(2r+1), two doubles
+// each), seeded with zero. Per k step: one 64-byte load of the packed
+// A micro-panel (eight values, V18..V21), one 32-byte load of the
+// packed B micro-panel (four values, V16..V17), then per row one DUP
+// of the row's A lane and two FMLAs. The final writeback adds the
+// tile into C via FMLA against a vector of 1.0s — fma(acc, 1.0, c)
+// rounds exactly like c + acc (the product is exact), and the Go
+// arm64 assembler has no vector FADD — keeping the writeback bitwise
+// identical to the unfused adds of the other variants.
+TEXT ·kernelNEON_8x4(SB), NOSPLIT, $0-40
+	MOVD c+0(FP), R0
+	MOVD cstride+8(FP), R1
+	MOVD kb+16(FP), R2
+	MOVD ap+24(FP), R3
+	MOVD bp+32(FP), R4
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+
+	CBZ R2, store
+
+loop:
+	VLD1.P 64(R3), [V18.D2, V19.D2, V20.D2, V21.D2] // a0..a7
+	VLD1.P 32(R4), [V16.D2, V17.D2]                 // b0..b3
+
+	VDUP  V18.D[0], V22.D2
+	VFMLA V16.D2, V22.D2, V0.D2  // row 0 += a0 * b
+	VFMLA V17.D2, V22.D2, V1.D2
+	VDUP  V18.D[1], V23.D2
+	VFMLA V16.D2, V23.D2, V2.D2
+	VFMLA V17.D2, V23.D2, V3.D2
+	VDUP  V19.D[0], V22.D2
+	VFMLA V16.D2, V22.D2, V4.D2
+	VFMLA V17.D2, V22.D2, V5.D2
+	VDUP  V19.D[1], V23.D2
+	VFMLA V16.D2, V23.D2, V6.D2
+	VFMLA V17.D2, V23.D2, V7.D2
+	VDUP  V20.D[0], V22.D2
+	VFMLA V16.D2, V22.D2, V8.D2
+	VFMLA V17.D2, V22.D2, V9.D2
+	VDUP  V20.D[1], V23.D2
+	VFMLA V16.D2, V23.D2, V10.D2
+	VFMLA V17.D2, V23.D2, V11.D2
+	VDUP  V21.D[0], V22.D2
+	VFMLA V16.D2, V22.D2, V12.D2
+	VFMLA V17.D2, V22.D2, V13.D2
+	VDUP  V21.D[1], V23.D2
+	VFMLA V16.D2, V23.D2, V14.D2
+	VFMLA V17.D2, V23.D2, V15.D2
+
+	SUB  $1, R2, R2
+	CBNZ R2, loop
+
+store:
+	LSL  $3, R1, R1              // row stride in bytes
+	MOVD $0x3FF0000000000000, R5 // float64(1.0)
+	VDUP R5, V30.D2
+
+	VLD1  (R0), [V24.D2, V25.D2]
+	VFMLA V30.D2, V0.D2, V24.D2  // c += acc * 1.0
+	VFMLA V30.D2, V1.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R0)
+	ADD   R1, R0, R0
+	VLD1  (R0), [V24.D2, V25.D2]
+	VFMLA V30.D2, V2.D2, V24.D2
+	VFMLA V30.D2, V3.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R0)
+	ADD   R1, R0, R0
+	VLD1  (R0), [V24.D2, V25.D2]
+	VFMLA V30.D2, V4.D2, V24.D2
+	VFMLA V30.D2, V5.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R0)
+	ADD   R1, R0, R0
+	VLD1  (R0), [V24.D2, V25.D2]
+	VFMLA V30.D2, V6.D2, V24.D2
+	VFMLA V30.D2, V7.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R0)
+	ADD   R1, R0, R0
+	VLD1  (R0), [V24.D2, V25.D2]
+	VFMLA V30.D2, V8.D2, V24.D2
+	VFMLA V30.D2, V9.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R0)
+	ADD   R1, R0, R0
+	VLD1  (R0), [V24.D2, V25.D2]
+	VFMLA V30.D2, V10.D2, V24.D2
+	VFMLA V30.D2, V11.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R0)
+	ADD   R1, R0, R0
+	VLD1  (R0), [V24.D2, V25.D2]
+	VFMLA V30.D2, V12.D2, V24.D2
+	VFMLA V30.D2, V13.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R0)
+	ADD   R1, R0, R0
+	VLD1  (R0), [V24.D2, V25.D2]
+	VFMLA V30.D2, V14.D2, V24.D2
+	VFMLA V30.D2, V15.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R0)
+	RET

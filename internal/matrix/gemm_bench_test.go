@@ -56,10 +56,23 @@ func BenchmarkKernelPackedThreads(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelPackedGo is the portable Go 4×4 variant forced, so
+// the SIMD speedup stays visible next to BenchmarkKernelPacked (which
+// dispatches to the best variant).
+func BenchmarkKernelPackedGo(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			k := NewKernelParams(1, Params{Variant: VariantGo4x4})
+			benchMul(b, n, k.Mul)
+		})
+	}
+}
+
 // BenchmarkCalibrate tracks the cost of one calibration measurement
-// (three timed multiplications at the default size).
+// (three timed multiplications); it times the uncached loop, since
+// Calibrate itself memoizes per (n, threads).
 func BenchmarkCalibrate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		Calibrate(128, 1)
+		calibrateKernel(128, NewKernel(1))
 	}
 }

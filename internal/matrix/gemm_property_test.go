@@ -1,0 +1,121 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mulBlockedRef is the scalar reference for the packed kernel's
+// reproducibility contract. For each C element it forms one partial
+// sum per KC block — fused (math.FMA, matching the SIMD variants'
+// one-rounding multiply-add) or unfused (separate multiply and add,
+// matching the portable Go tile) — and adds each partial into C once.
+// That is the complete description of the kernel's per-element
+// floating-point order: the MC/NC blocking, the micro-panel packing
+// and the thread decomposition only reorder independent elements, so
+// any kernel configuration sharing (KC, fusedness) must agree with
+// this reference bit for bit.
+func mulBlockedRef(c, a, b *Dense, kcb int, fused bool) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			cij := c.Data[i*c.Stride+j]
+			for pc := 0; pc < a.Cols; pc += kcb {
+				kb := min(kcb, a.Cols-pc)
+				acc := 0.0
+				for p := pc; p < pc+kb; p++ {
+					av := a.Data[i*a.Stride+p]
+					bv := b.Data[p*b.Stride+j]
+					if fused {
+						acc = math.FMA(av, bv, acc)
+					} else {
+						acc += av * bv
+					}
+				}
+				cij += acc
+			}
+			c.Data[i*c.Stride+j] = cij
+		}
+	}
+}
+
+// randomStrided builds a rows×cols matrix whose stride exceeds cols by
+// a random pad, with every backing element (padding included) filled
+// randomly — so a kernel that reads or writes outside the logical
+// cols-wide window changes bits the test will catch.
+func randomStrided(rng *rand.Rand, rows, cols int) *Dense {
+	stride := cols + rng.Intn(7)
+	d := &Dense{Rows: rows, Cols: cols, Stride: stride, Data: make([]float64, rows*stride)}
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+// cloneStrided copies a matrix including its padding lanes.
+func cloneStrided(d *Dense) *Dense {
+	return &Dense{Rows: d.Rows, Cols: d.Cols, Stride: d.Stride,
+		Data: append([]float64(nil), d.Data...)}
+}
+
+// TestKernelVariantsBitwiseIdentical is the randomized property test of
+// the reproducibility contract: for random problem shapes, random
+// strides, random cache-block parameters, every available micro-kernel
+// variant and several thread counts, the packed kernel's output —
+// padding bytes included — must equal mulBlockedRef bit for bit. This
+// is what guarantees a distributed run's product does not depend on
+// how many worker goroutines each rank happened to get.
+func TestKernelVariantsBitwiseIdentical(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < trials; trial++ {
+		m, n, kk := 1+rng.Intn(300), 1+rng.Intn(300), 1+rng.Intn(300)
+		a := randomStrided(rng, m, kk)
+		b := randomStrided(rng, kk, n)
+		c0 := randomStrided(rng, m, n) // nonzero C exercises the += contract
+		for _, v := range Variants() {
+			par := Params{
+				MC:      4 + rng.Intn(160),
+				KC:      8 + rng.Intn(300),
+				NC:      16 + rng.Intn(600),
+				Variant: v,
+			}
+			want := cloneStrided(c0)
+			mulBlockedRef(want, a, b, par.KC, v.Fused())
+			for _, threads := range []int{1, 2, 5} {
+				got := cloneStrided(c0)
+				NewKernelParams(threads, par).Mul(got, a, b)
+				for i := range got.Data {
+					if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+						t.Fatalf("trial %d (%d×%d·%d×%d, %+v, %d threads): Data[%d] = %v, reference %v",
+							trial, m, kk, kk, n, par, threads, i, got.Data[i], want.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelMatchesNaive pins the variants to the true product, not
+// just to each other: every variant must agree with the textbook
+// triple loop within accumulation-order rounding.
+func TestKernelMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 97 // prime: every blocking fringe is exercised
+	a := Random(n, n, rng)
+	b := Random(n, n, rng)
+	want := New(n, n)
+	MulNaive(want, a, b)
+	for _, v := range Variants() {
+		got := New(n, n)
+		NewKernelParams(2, Params{Variant: v}).Mul(got, a, b)
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-9*math.Max(1, math.Abs(want.Data[i])) {
+				t.Fatalf("%s: element %d = %v, naive %v", v, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,17 @@
+//go:build arm64 && !noasm
+
+package matrix
+
+// The NEON (ASIMD) micro-kernel (gemm_arm64.s). It accumulates the
+// full 8×4 register tile over the packed panels with FMLA chains and
+// adds it into C, mirroring the accumulate-then-add structure of the
+// portable Go tile; each C element's value is a math.FMA chain over
+// the k block followed by one addition. ASIMD is architecturally
+// mandatory on AArch64, so no runtime feature check is needed.
+//
+//go:noescape
+func kernelNEON_8x4(c *float64, cstride, kb int, ap, bp *float64)
+
+func init() {
+	variantKerns[VariantNEON_8x4] = kernelNEON_8x4
+}

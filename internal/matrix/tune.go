@@ -1,0 +1,165 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// TunedParams is the result of one autotuning search: the fastest
+// kernel configuration Tune measured for a problem-size class and
+// thread count, plus the measurement metadata. The embedded Params is
+// what NewKernelParams (and the executors' arenas, under the engine's
+// Autotune option) consume in place of the package defaults.
+type TunedParams struct {
+	Params
+	Threads int     // kernel worker bound the search was run with
+	N       int     // problem-size class measured (n×n×n)
+	GFlops  float64 // sustained rate of the winning configuration
+	Evals   int     // configurations actually timed by the search
+}
+
+// String implements fmt.Stringer.
+func (t TunedParams) String() string {
+	return fmt.Sprintf("tuned %d³ ×%d threads: %s mc=%d kc=%d nc=%d — %.2f Gflop/s (%d configs timed)",
+		t.N, t.Threads, t.Variant, t.MC, t.KC, t.NC, t.GFlops, t.Evals)
+}
+
+// tuneCandidates is the search lattice: a small set of plausible
+// values per cache-block axis, bracketing the defaults. The lattice is
+// deliberately coarse — per-machine differences show up at factor-2
+// granularity (L2 size, SMT, memory bandwidth), and a coarse lattice
+// keeps a full coordinate-descent sweep under a second.
+var tuneCandidates = struct{ mc, kc, nc []int }{
+	mc: []int{64, 96, 128, 192, 256},
+	kc: []int{128, 192, 256, 384, 512},
+	nc: []int{256, 512, 1024, 2048},
+}
+
+// sizeClasses is the shape-class lattice SizeClass snaps to: tuning is
+// cached per class, so every local-tile size maps to one of these
+// measurement problems.
+var sizeClasses = []int{64, 128, 256, 384, 512}
+
+// SizeClass maps a distributed problem to the tuning size class of its
+// per-rank local work: the edge of the cube holding m·n·k/ranks
+// elementary products, snapped to the nearest entry of the class
+// lattice. Executors use it to pick which cached tuning to apply.
+func SizeClass(m, n, k, ranks int) int {
+	if ranks < 1 {
+		ranks = 1
+	}
+	edge := math.Cbrt(float64(m) * float64(n) * float64(k) / float64(ranks))
+	best := sizeClasses[0]
+	for _, s := range sizeClasses[1:] {
+		if math.Abs(float64(s)-edge) < math.Abs(float64(best)-edge) {
+			best = s
+		}
+	}
+	return best
+}
+
+// tuneMemo caches search results per (size class, resolved threads)
+// for the process lifetime — the small tuned-parameter cache that sits
+// beside the engine's LRU plan cache. Tuned block sizes are a machine
+// property, so one search serves every engine, plan and executor that
+// asks for the same class.
+var tuneMemo struct {
+	sync.Mutex
+	m        map[[2]int]TunedParams
+	searches int // full searches actually executed (for tests)
+}
+
+// tuneRuns is the timed repetitions per candidate configuration. Two
+// runs (after the harness's warm-up) are enough at tuning sizes: the
+// search only needs a stable ordering, not an absolute rate.
+const tuneRuns = 2
+
+// Tune searches for the fastest packed-kernel configuration on this
+// machine — cache blocks (MC, KC, NC) and micro-kernel variant — for
+// n×n×n multiplications with the given worker bound, by coordinate
+// descent over a small candidate lattice: starting from the defaults,
+// each axis in turn is swept holding the others fixed, keeping any
+// improvement, until a sweep improves nothing (at most three sweeps).
+// Every candidate is timed with the same best-of-N harness as
+// Calibrate. n <= 0 picks 256, the middle size class; threads <= 0
+// means GOMAXPROCS. Results are memoized per (n, threads) for the
+// process lifetime, so the search cost is paid once per size class.
+func Tune(n, threads int) TunedParams {
+	if n <= 0 {
+		n = 256
+	}
+	k := NewKernel(threads) // resolves threads exactly like the executors
+	threads = k.Threads()
+	key := [2]int{n, threads}
+	tuneMemo.Lock()
+	defer tuneMemo.Unlock()
+	if tp, ok := tuneMemo.m[key]; ok {
+		return tp
+	}
+	tp := tuneSearch(n, threads)
+	if tuneMemo.m == nil {
+		tuneMemo.m = make(map[[2]int]TunedParams)
+	}
+	tuneMemo.m[key] = tp
+	tuneMemo.searches++
+	return tp
+}
+
+// tuneSearch runs the uncached coordinate-descent search.
+func tuneSearch(n, threads int) TunedParams {
+	rng := rand.New(rand.NewSource(2))
+	a := Random(n, n, rng)
+	b := Random(n, n, rng)
+	c := New(n, n)
+
+	evals := 0
+	seen := map[Params]time.Duration{}
+	timeOf := func(p Params) time.Duration {
+		p = p.normalized()
+		if d, ok := seen[p]; ok {
+			return d
+		}
+		evals++
+		d := timeMul(NewKernelParams(threads, p), c, a, b, tuneRuns)
+		seen[p] = d
+		return d
+	}
+
+	cur := DefaultParams()
+	best := timeOf(cur)
+	try := func(p Params) {
+		if d := timeOf(p); d < best {
+			best, cur = d, p.normalized()
+		}
+	}
+	for sweep := 0; sweep < 3; sweep++ {
+		before := best
+		for _, v := range Variants() {
+			try(Params{MC: cur.MC, KC: cur.KC, NC: cur.NC, Variant: v})
+		}
+		for _, kcv := range tuneCandidates.kc {
+			try(Params{MC: cur.MC, KC: kcv, NC: cur.NC, Variant: cur.Variant})
+		}
+		for _, mcv := range tuneCandidates.mc {
+			try(Params{MC: mcv, KC: cur.KC, NC: cur.NC, Variant: cur.Variant})
+		}
+		for _, ncv := range tuneCandidates.nc {
+			try(Params{MC: cur.MC, KC: cur.KC, NC: ncv, Variant: cur.Variant})
+		}
+		if best == before {
+			break
+		}
+	}
+
+	flops := float64(MulFlops(n, n, n))
+	return TunedParams{
+		Params:  cur,
+		Threads: threads,
+		N:       n,
+		GFlops:  flops / best.Seconds() / 1e9,
+		Evals:   evals,
+	}
+}

@@ -1,0 +1,109 @@
+package matrix
+
+import "testing"
+
+// TestSizeClass checks the local-work snapping the executors key their
+// cached tunings by.
+func TestSizeClass(t *testing.T) {
+	cases := []struct{ m, n, k, ranks, want int }{
+		{512, 512, 512, 1, 512},   // whole problem on one rank
+		{512, 512, 512, 8, 256},   // cbrt(512³/8) = 256 exactly
+		{100, 100, 100, 1000, 64}, // tiny local tiles clamp to the floor
+		{4096, 4096, 4096, 64, 512},
+		{256, 256, 256, 0, 256}, // ranks < 1 treated as 1
+	}
+	for _, c := range cases {
+		if got := SizeClass(c.m, c.n, c.k, c.ranks); got != c.want {
+			t.Errorf("SizeClass(%d,%d,%d,%d) = %d, want %d", c.m, c.n, c.k, c.ranks, got, c.want)
+		}
+	}
+}
+
+// TestTuneValidAndMemoized runs one real (small) search and checks
+// that the result is a usable configuration and that the process-wide
+// memo makes the second call free and identical.
+func TestTuneValidAndMemoized(t *testing.T) {
+	tuneMemo.Lock()
+	before := tuneMemo.searches
+	tuneMemo.Unlock()
+
+	tp := Tune(64, 1)
+	if tp.N != 64 || tp.Threads != 1 {
+		t.Fatalf("Tune(64,1) measured %d³ ×%d, want 64³ ×1", tp.N, tp.Threads)
+	}
+	if tp.MC < 1 || tp.KC < 1 || tp.NC < 1 {
+		t.Fatalf("non-positive tuned block sizes: %+v", tp.Params)
+	}
+	if !tp.Variant.Available() {
+		t.Fatalf("tuned variant %s is not available on this machine", tp.Variant)
+	}
+	if tp.GFlops <= 0 || tp.Evals < 1 {
+		t.Fatalf("implausible search metadata: %.2f Gflop/s over %d evals", tp.GFlops, tp.Evals)
+	}
+
+	// The tuned configuration must drive a working kernel.
+	k := NewKernelParams(1, tp.Params)
+	if k.Params() != tp.Params.normalized() {
+		t.Fatalf("kernel did not adopt tuned params: %+v vs %+v", k.Params(), tp.Params)
+	}
+
+	if tp2 := Tune(64, 1); tp2 != tp {
+		t.Fatalf("memoized Tune differs: %+v vs %+v", tp2, tp)
+	}
+	tuneMemo.Lock()
+	searches := tuneMemo.searches
+	tuneMemo.Unlock()
+	if searches != before+1 {
+		t.Fatalf("two Tune(64,1) calls ran %d searches, want 1", searches-before)
+	}
+}
+
+// TestCalibrateMemoized checks the calibration memo: one measurement
+// loop per (n, threads), identical results on repeat, and the variant
+// field naming the kernel's actual dispatch.
+func TestCalibrateMemoized(t *testing.T) {
+	calMemo.Lock()
+	before := calMemo.runs
+	calMemo.Unlock()
+
+	c1 := Calibrate(64, 1)
+	c2 := Calibrate(64, 1)
+	if c1 != c2 {
+		t.Fatalf("memoized Calibrate differs: %+v vs %+v", c1, c2)
+	}
+	if c1.Variant != BestVariant().String() {
+		t.Errorf("calibration names variant %q, kernel dispatches %q", c1.Variant, BestVariant())
+	}
+	calMemo.Lock()
+	runs := calMemo.runs
+	calMemo.Unlock()
+	if runs != before+1 {
+		t.Fatalf("two Calibrate(64,1) calls ran %d measurement loops, want 1", runs-before)
+	}
+}
+
+// TestVariantsPortableFirst pins the dispatch-table invariants the
+// tuner and the noasm build rely on.
+func TestVariantsPortableFirst(t *testing.T) {
+	vs := Variants()
+	if len(vs) == 0 || vs[0] != VariantGo4x4 {
+		t.Fatalf("Variants() = %v, want portable go4x4 first", vs)
+	}
+	for _, v := range vs {
+		if !v.Available() {
+			t.Errorf("Variants() listed unavailable %s", v)
+		}
+		mr, nr := v.Dims()
+		if mr < 1 || nr < 1 {
+			t.Errorf("%s has degenerate tile %d×%d", v, mr, nr)
+		}
+	}
+	if best := BestVariant(); !best.Available() {
+		t.Fatalf("BestVariant() = %s is unavailable", best)
+	}
+	// An unavailable or out-of-range variant must degrade portably.
+	p := Params{Variant: numVariants}.normalized()
+	if p.Variant != VariantGo4x4 {
+		t.Errorf("out-of-range variant normalized to %s, want go4x4", p.Variant)
+	}
+}

@@ -19,6 +19,9 @@ type Plan struct {
 	// kernelThreads bounds each rank's local GEMM worker pool in the
 	// executors built for this plan; 0 resolves GOMAXPROCS-aware.
 	kernelThreads int
+	// autotune makes the executors' rank kernels use autotuned block
+	// sizes and micro-kernel variant (WithAutotune).
+	autotune bool
 
 	// Executor free list. Engine.Exec borrows from here so concurrent
 	// same-shape multiplications each get a machine of their own while
@@ -71,7 +74,7 @@ func (p *Plan) String() string {
 // their outputs. An Executor is not safe for concurrent use — create
 // one per goroutine (Engine.Exec pools them automatically).
 func (p *Plan) NewExecutor() *Executor {
-	return &Executor{plan: p, inner: algo.NewExecutor(p.inner, p.network, p.kernelThreads)}
+	return &Executor{plan: p, inner: algo.NewExecutor(p.inner, p.network, p.kernelThreads, p.autotune)}
 }
 
 // acquire borrows a pooled executor, building one on first use.
