@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race test-noasm bench-overlap bench-overlap-smoke bench-kernel bench-kernel-smoke
+.PHONY: build test race test-noasm bench-overlap bench-overlap-smoke bench-kernel bench-kernel-smoke bench-wire bench-wire-smoke
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,19 @@ bench-kernel:
 # same process so noise hits both sides alike.
 bench-kernel-smoke:
 	$(GO) run ./cmd/benchkernel -sizes 256,512 -reps 3 -out BENCH_kernel.json -guard-simd 2.0 -guard-tuned 0.95
+
+# bench-wire emits BENCH_wire.json: warm Engine.Exec wall-clock over 4
+# real OS processes on Unix sockets vs the in-process backend at 256^3
+# and 512^3 (p=4), plus the sustained request throughput of the cosmad
+# serving stack (coalescing server behind its HTTP handler). No guard
+# by default: sockets carry a real, machine-dependent cost; the number
+# is the point, not a floor.
+bench-wire:
+	$(GO) run ./cmd/benchwire -sizes 256,512 -procs 4 -reps 5 -out BENCH_wire.json
+
+# The CI smoke: same artifact, smaller sizes and best-of-3, with a very
+# loose guard (wire must stay within 50x of in-process warm Exec) that
+# only catches a pathological transport regression — e.g. a serialized
+# mesh or a lost zero-copy path — never runner noise.
+bench-wire-smoke:
+	$(GO) run ./cmd/benchwire -sizes 128,256 -procs 4 -reps 3 -serve-duration 1s -out BENCH_wire.json -guard 50

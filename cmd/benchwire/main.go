@@ -1,0 +1,373 @@
+// Command benchwire measures what the wire transport costs: warm
+// Engine.Exec wall-clock over real OS processes and sockets against
+// the same configuration on the in-process counting backend, plus the
+// request throughput of the cosmad serving stack (batching server +
+// HTTP layer) driven at a mixed shape workload. The comparison is
+// emitted as JSON — the artifact CI archives as BENCH_wire.json:
+//
+//	benchwire [-sizes 256,512] [-procs 4] [-wire-procs 4]
+//	          [-reps 3] [-warmups 1] [-serve-duration 2s] [-serve-workers 8]
+//	          [-out BENCH_wire.json] [-guard 0]
+//
+// The process re-executes itself once per extra wire process (the
+// WIRE_RANK/WIRE_PEERS handshake); every process runs the identical
+// execution sequence, since wire runs are collective. Each size is
+// timed warm — the plan cache, executor pool, and socket mesh are hot —
+// and the fastest repetition is kept. With -guard g > 0 the program
+// exits non-zero if wire/in-process exceeds the factor g on any size.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cosma"
+	"cosma/internal/serve"
+	"cosma/internal/workload"
+)
+
+const (
+	seedA = 101
+	seedB = 102
+	// envSizes/envRuns carry the launcher's execution sequence to the
+	// worker processes: collective runs must replay identically.
+	envSizes = "BENCHWIRE_SIZES"
+	envRuns  = "BENCHWIRE_RUNS"
+)
+
+// wireResult is one size's wire vs in-process measurement.
+type wireResult struct {
+	N           int     `json:"n"`          // square problem size (m = n = k)
+	Procs       int     `json:"procs"`      // ranks p
+	WireProcs   int     `json:"wire_procs"` // OS processes the ranks span
+	Reps        int     `json:"reps"`       // timed repetitions (fastest kept)
+	InProcess   float64 `json:"inprocess_sec"`
+	Wire        float64 `json:"wire_sec"`
+	Ratio       float64 `json:"wire_over_inprocess"`
+	GuardFactor float64 `json:"guard_factor,omitempty"`
+}
+
+// serveResult is the cosmad serving-stack throughput measurement.
+type serveResult struct {
+	Duration   float64 `json:"duration_sec"`
+	Workers    int     `json:"workers"`
+	Shapes     int     `json:"shapes"`
+	Requests   int64   `json:"requests"`
+	Shed       int64   `json:"shed"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	Batches    int64   `json:"batches"`
+	Batched    int64   `json:"batched"`
+	MaxBatch   int     `json:"max_batch"`
+	PlanHits   int64   `json:"plan_hits"`
+	PlanMisses int64   `json:"plan_misses"`
+}
+
+type artifact struct {
+	Wire    []wireResult `json:"wire"`
+	Serving serveResult  `json:"serving"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchwire: ")
+	sizes := flag.String("sizes", "256,512", "comma-separated square problem sizes")
+	procs := flag.Int("procs", 4, "ranks p")
+	wireProcs := flag.Int("wire-procs", 4, "OS processes to spread the ranks over")
+	reps := flag.Int("reps", 3, "timed repetitions per size (fastest kept)")
+	warmups := flag.Int("warmups", 1, "untimed warm-up executions per size")
+	serveDuration := flag.Duration("serve-duration", 2*time.Second, "how long to drive the serving stack")
+	serveWorkers := flag.Int("serve-workers", 8, "concurrent serving clients")
+	out := flag.String("out", "BENCH_wire.json", "output JSON path ('-' for stdout)")
+	guard := flag.Float64("guard", 0,
+		"fail if wire/in-process exceeds this factor on any size (0 disables)")
+	flag.Parse()
+
+	if cfg, joined, err := cosma.WireFromEnv(); joined {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runWorker(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	art := artifact{}
+	art.Wire, err = measureWire(ns, *procs, *wireProcs, *reps, *warmups, *guard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art.Serving, err = measureServing(*procs, *serveDuration, *serveWorkers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	if *guard > 0 {
+		for _, r := range art.Wire {
+			if r.Ratio > *guard {
+				log.Fatalf("guard failed: n=%d wire/in-process = %.3f exceeds %.2f",
+					r.N, r.Ratio, *guard)
+			}
+		}
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var ns []int
+	for _, field := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid size %q", field)
+		}
+		ns = append(ns, n)
+	}
+	return ns, nil
+}
+
+// executeAll replays the collective execution sequence — every size,
+// warm-ups plus repetitions, in order — on one engine. Launcher and
+// workers must run exactly this, or the wire runs deadlock. The timing
+// callback (nil for workers) is told each size's timed repetitions.
+func executeAll(eng *cosma.Engine, ns []int, runs int, timed func(n int, secs []float64)) error {
+	ctx := context.Background()
+	for _, n := range ns {
+		a := cosma.RandomMatrix(n, n, seedA)
+		b := cosma.RandomMatrix(n, n, seedB)
+		secs := make([]float64, 0, runs)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			if _, _, err := eng.Exec(ctx, a, b); err != nil {
+				return fmt.Errorf("n=%d run %d: %w", n, i, err)
+			}
+			secs = append(secs, time.Since(start).Seconds())
+		}
+		if timed != nil {
+			timed(n, secs)
+		}
+	}
+	return nil
+}
+
+// runWorker is the re-executed process body: join the mesh, replay the
+// launcher's sequence, leave.
+func runWorker(cfg cosma.WireConfig) error {
+	ns, err := parseSizes(os.Getenv(envSizes))
+	if err != nil {
+		return fmt.Errorf("worker sequence: %w", err)
+	}
+	runs, err := strconv.Atoi(os.Getenv(envRuns))
+	if err != nil || runs < 1 {
+		return fmt.Errorf("worker sequence: bad %s=%q", envRuns, os.Getenv(envRuns))
+	}
+	eng, err := cosma.NewEngine(
+		cosma.WithProcs(len(cfg.Peers)), cosma.WithMemory(1<<20),
+		cosma.WithWireTransport(cfg), cosma.WithRecvTimeout(2*time.Minute))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	return executeAll(eng, ns, runs, nil)
+}
+
+// measureWire times the sequence on the in-process backend, then
+// brings up one socket mesh (reused warm across all sizes) and times
+// the identical sequence over real OS processes.
+func measureWire(ns []int, procs, wireProcs, reps, warmups int, guard float64) ([]wireResult, error) {
+	runs := warmups + reps
+	best := func(secs []float64) float64 {
+		b := secs[warmups] // timed repetitions follow the warm-ups
+		for _, s := range secs[warmups:] {
+			if s < b {
+				b = s
+			}
+		}
+		return b
+	}
+
+	inproc := make(map[int]float64, len(ns))
+	eng, err := cosma.NewEngine(cosma.WithProcs(procs), cosma.WithMemory(1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if err := executeAll(eng, ns, runs, func(n int, secs []float64) { inproc[n] = best(secs) }); err != nil {
+		return nil, fmt.Errorf("in-process: %w", err)
+	}
+
+	if wireProcs <= 0 || wireProcs > procs {
+		wireProcs = procs
+	}
+	dir, err := os.MkdirTemp("", "benchwire-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	procAddrs := cosma.WireSocketAddrs(dir, wireProcs)
+	peers := make([]string, procs)
+	for rank := range peers {
+		peers[rank] = procAddrs[rank*wireProcs/procs]
+	}
+	var children []*exec.Cmd
+	for pi := 1; pi < wireProcs; pi++ {
+		first := (pi*procs + wireProcs - 1) / wireProcs
+		cmd := exec.Command(os.Args[0], os.Args[1:]...)
+		cmd.Env = append(os.Environ(), cosma.WireEnv(first, peers)...)
+		cmd.Env = append(cmd.Env,
+			fmt.Sprintf("%s=%s", envSizes, joinSizes(ns)),
+			fmt.Sprintf("%s=%d", envRuns, runs))
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("spawning wire process %d: %w", pi, err)
+		}
+		children = append(children, cmd)
+	}
+
+	weng, err := cosma.NewEngine(
+		cosma.WithProcs(procs), cosma.WithMemory(1<<20),
+		cosma.WithWireTransport(cosma.WireConfig{Rank: 0, Peers: peers}),
+		cosma.WithRecvTimeout(2*time.Minute))
+	if err != nil {
+		return nil, err
+	}
+	defer weng.Close()
+
+	var results []wireResult
+	err = executeAll(weng, ns, runs, func(n int, secs []float64) {
+		w := best(secs)
+		r := wireResult{
+			N: n, Procs: procs, WireProcs: wireProcs, Reps: reps,
+			InProcess: inproc[n], Wire: w, Ratio: w / inproc[n],
+		}
+		if guard > 0 {
+			r.GuardFactor = guard
+		}
+		results = append(results, r)
+		log.Printf("n=%d p=%d over %d processes: in-process %.3fms, wire %.3fms (wire/in-process %.2f)",
+			n, procs, wireProcs, r.InProcess*1e3, r.Wire*1e3, r.Ratio)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	for i, cmd := range children {
+		if werr := cmd.Wait(); werr != nil {
+			return nil, fmt.Errorf("wire process %d: %w", i+1, werr)
+		}
+	}
+	return results, nil
+}
+
+// measureServing drives the full cosmad stack — coalescing server
+// behind its HTTP handler — with a mixed shape workload and reports
+// sustained request throughput.
+func measureServing(procs int, duration time.Duration, workers int) (serveResult, error) {
+	srv, err := serve.New(serve.Options{
+		Engine: []cosma.Option{cosma.WithProcs(procs), cosma.WithMemory(1 << 20)},
+	})
+	if err != nil {
+		return serveResult{}, err
+	}
+	hs := httptest.NewServer(serve.Handler(srv))
+	defer hs.Close()
+
+	dims := workload.ServingDims()
+	bodies := make([][]byte, len(dims))
+	for i, d := range dims {
+		a := cosma.RandomMatrix(d.M, d.K, seedA+int64(2*i))
+		b := cosma.RandomMatrix(d.K, d.N, seedB+int64(2*i))
+		body, err := json.Marshal(serve.MultiplyRequest{M: d.M, N: d.N, K: d.K, A: a.Data, B: b.Data})
+		if err != nil {
+			return serveResult{}, err
+		}
+		bodies[i] = body
+	}
+
+	var ok, shed atomic.Int64
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				resp, err := client.Post(hs.URL+"/v1/multiply", "application/json",
+					bytes.NewReader(bodies[i%len(dims)]))
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					errc <- fmt.Errorf("serving: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return serveResult{}, err
+	default:
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		return serveResult{}, fmt.Errorf("drain: %w", err)
+	}
+
+	st := srv.Stats()
+	r := serveResult{
+		Duration: duration.Seconds(), Workers: workers, Shapes: len(dims),
+		Requests: ok.Load(), Shed: shed.Load(),
+		ReqPerSec: float64(ok.Load()) / duration.Seconds(),
+		Batches:   st.Batches, Batched: st.Batched, MaxBatch: st.MaxBatch,
+		PlanHits: st.PlanHits, PlanMisses: st.PlanMisses,
+	}
+	log.Printf("serving: %d ok (%.0f req/s), %d shed, %d batches (max %d) over %d shapes",
+		r.Requests, r.ReqPerSec, r.Shed, r.Batches, r.MaxBatch, r.Shapes)
+	return r, nil
+}
+
+func joinSizes(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}

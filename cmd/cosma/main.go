@@ -20,15 +20,34 @@
 // rank's local GEMM worker pool (0 = GOMAXPROCS-aware default).
 // -tune autotunes the rank kernels' block sizes and micro-kernel
 // variant (printing the search result) before executing.
+//
+// With -transport wire the multiplication is genuinely distributed:
+// the p ranks are spread over -wire-procs OS processes connected by
+// Unix-domain sockets (or TCP with -wire-net tcp). Run without
+// WIRE_RANK in the environment, the command is the launcher — it
+// re-executes itself once per extra process with the WIRE_RANK /
+// WIRE_PEERS bootstrap handshake set, joins as the process hosting
+// rank 0, and prints the result; with WIRE_RANK set it joins an
+// existing cluster as a worker. The product is bitwise-identical to
+// the in-process transports; -checksum prints a FNV-64a digest of the
+// result bytes so scripts can compare the two:
+//
+//	cosma -m 256 -n 256 -k 256 -p 4 -checksum
+//	cosma -m 256 -n 256 -k 256 -p 4 -transport wire -wire-procs 4 -checksum
 package main
 
 import (
 	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"math"
 	"os"
+	"os/exec"
 	"strings"
+	"time"
 
 	"cosma"
 	"cosma/internal/report"
@@ -51,6 +70,15 @@ func main() {
 	tune := flag.Bool("tune", false, "autotune rank-kernel block sizes and micro-kernel variant")
 	overlap := flag.Bool("overlap", false,
 		"pipeline the round loops (§7.3): prefetch the next round's panels while multiplying")
+	transport := flag.String("transport", "inprocess",
+		"rank transport: inprocess (simulated machine) or wire (real OS processes over sockets)")
+	wireProcs := flag.Int("wire-procs", 0, "wire: OS processes to spread the p ranks over (0 = p)")
+	wireNet := flag.String("wire-net", "unix", "wire: unix (sockets in a temp dir) or tcp")
+	wireHost := flag.String("wire-host", "127.0.0.1", "wire: host for -wire-net tcp")
+	wirePort := flag.Int("wire-port", 7650, "wire: first TCP port for -wire-net tcp")
+	recvTimeout := flag.Duration("recv-timeout", 2*time.Minute,
+		"wire: abort a run whose receive or barrier waits longer than this (0 = wait forever)")
+	checksum := flag.Bool("checksum", false, "print a FNV-64a digest of each result matrix")
 	flag.Parse()
 
 	if *algoName == "list" {
@@ -87,6 +115,27 @@ func main() {
 		log.Fatal("-calibrate needs -network: the measured γ replaces the preset's compute constant")
 	}
 
+	if *transport == "wire" {
+		if *netName != "" {
+			log.Fatal("-transport wire measures real traffic; it cannot run on the timed -network transport")
+		}
+		if *algoName == "all" || *algoName == "list" {
+			log.Fatal("-transport wire runs one algorithm; pick -algo cosma or -algo summa")
+		}
+		err := runWire(wireRun{
+			algo: *algoName, m: *m, n: *n, k: *k, p: *p,
+			opts: opts, seed: *seed, checksum: *checksum,
+			procs: *wireProcs, net: *wireNet, host: *wireHost, port: *wirePort,
+			recvTimeout: *recvTimeout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	} else if *transport != "inprocess" {
+		log.Fatalf("unknown -transport %q (inprocess or wire)", *transport)
+	}
+
 	names := []string{*algoName}
 	if *algoName == "all" {
 		names = cosma.AlgorithmNames()
@@ -116,10 +165,13 @@ func main() {
 			continue
 		}
 		fmt.Printf("%s plan: %v\n", plan.Algorithm(), plan)
-		_, rep, err := eng.Exec(ctx, a, b)
+		c, rep, err := eng.Exec(ctx, a, b)
 		if err != nil {
 			log.Printf("%s: %v", name, err)
 			continue
+		}
+		if *checksum {
+			fmt.Printf("%s checksum %016x\n", rep.Name, digest(c))
 		}
 		row := []interface{}{rep.Name, rep.Grid, rep.Used, rep.AvgRecv, rep.MaxRecv, rep.MaxMsgs, rep.Model.AvgRecv}
 		if timed {
@@ -133,4 +185,135 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(t.String())
+}
+
+// wireRun bundles the -transport wire parameters.
+type wireRun struct {
+	algo        string
+	m, n, k, p  int
+	opts        []cosma.Option
+	seed        int64
+	checksum    bool
+	procs       int
+	net, host   string
+	port        int
+	recvTimeout time.Duration
+}
+
+// runWire executes one genuinely distributed multiplication. Without
+// WIRE_RANK in the environment this process is the launcher: it builds
+// the peer list, re-executes itself once per extra OS process with the
+// bootstrap handshake set, hosts rank 0, and prints the result. With
+// WIRE_RANK set it joins the cluster described by the environment as a
+// worker and exits silently on success.
+func runWire(r wireRun) error {
+	cfg, joined, err := cosma.WireFromEnv()
+	if err != nil {
+		return err
+	}
+	var children []*exec.Cmd
+	if !joined {
+		procs := r.procs
+		if procs <= 0 || procs > r.p {
+			procs = r.p
+		}
+		var procAddrs []string
+		switch r.net {
+		case "unix":
+			dir, err := os.MkdirTemp("", "cosma-wire-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			procAddrs = cosma.WireSocketAddrs(dir, procs)
+		case "tcp":
+			procAddrs = cosma.WireTCPAddrs(r.host, r.port, procs)
+		default:
+			return fmt.Errorf("unknown -wire-net %q (unix or tcp)", r.net)
+		}
+
+		// Block-distribute the p ranks over the processes: ranks sharing
+		// an address share an OS process.
+		peers := make([]string, r.p)
+		for rank := range peers {
+			peers[rank] = procAddrs[rank*procs/r.p]
+		}
+		for pi := 1; pi < procs; pi++ {
+			first := (pi*r.p + procs - 1) / procs // lowest rank hosted by process pi
+			cmd := exec.Command(os.Args[0], os.Args[1:]...)
+			cmd.Env = append(os.Environ(), cosma.WireEnv(first, peers)...)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				for _, c := range children {
+					c.Process.Kill()
+					c.Wait()
+				}
+				return fmt.Errorf("spawning wire process %d: %w", pi, err)
+			}
+			children = append(children, cmd)
+		}
+		cfg = cosma.WireConfig{Rank: 0, Peers: peers}
+	}
+
+	eng, err := cosma.NewEngine(append(append([]cosma.Option{}, r.opts...),
+		cosma.WithAlgorithm(r.algo),
+		cosma.WithWireTransport(cfg),
+		cosma.WithRecvTimeout(r.recvTimeout))...)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	rank, _ := eng.WireRank()
+	// Every process builds the same inputs from the shared seed; only
+	// each rank's own blocks are ever touched.
+	a := cosma.RandomMatrix(r.m, r.k, r.seed)
+	b := cosma.RandomMatrix(r.k, r.n, r.seed+1)
+	plan, err := eng.Plan(ctx, r.m, r.n, r.k)
+	if err != nil {
+		return err
+	}
+	if rank == 0 {
+		fmt.Printf("%s plan: %v\n", plan.Algorithm(), plan)
+	}
+	c, rep, err := eng.Exec(ctx, a, b)
+	if err != nil {
+		return fmt.Errorf("wire rank %d: %w", rank, err)
+	}
+	if rank == 0 {
+		fmt.Printf("%s over %d ranks: grid %s, avg recv %.0f words/rank, max recv %d, max msgs %d\n",
+			rep.Name, rep.P, rep.Grid, rep.AvgRecv, rep.MaxRecv, rep.MaxMsgs)
+		if r.checksum {
+			fmt.Printf("%s checksum %016x\n", rep.Name, digest(c))
+		}
+	}
+
+	failed := 0
+	for i, cmd := range children {
+		if err := cmd.Wait(); err != nil {
+			log.Printf("wire process %d: %v", i+1, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d wire processes failed", failed)
+	}
+	return nil
+}
+
+// digest is a FNV-64a hash over the little-endian bytes of the result
+// matrix, printed by -checksum so scripts (and CI) can check that the
+// wire and in-process transports produce bitwise-identical products.
+func digest(c *cosma.Matrix) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < c.Rows; i++ {
+		for _, v := range c.Data[i*c.Stride : i*c.Stride+c.Cols] {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
 }

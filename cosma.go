@@ -33,6 +33,7 @@ import (
 	"cosma/internal/bound"
 	"cosma/internal/core"
 	"cosma/internal/machine"
+	"cosma/internal/machine/wire"
 	"cosma/internal/matrix"
 	"cosma/internal/seq"
 )
@@ -82,6 +83,36 @@ func SharedMemoryNetwork() NetworkParams { return machine.SharedMemory() }
 // NetworkByName resolves a preset name ("pizdaint", "ethernet",
 // "sharedmem"), for command-line flags.
 func NetworkByName(name string) (NetworkParams, error) { return machine.NetworkByName(name) }
+
+// WireConfig describes this process's place in a wire-transport
+// cluster: its index Rank in the shared peer address list Peers
+// ("tcp://host:port" or "unix:///path"; a bare host:port is TCP).
+// Several ranks may share one address, in which case they live in the
+// same process. Pass it to NewEngine via WithWireTransport.
+type WireConfig = wire.Config
+
+// ErrRecvTimeout is wrapped by run errors when a receive or barrier
+// wait exceeds the WithRecvTimeout bound; test with errors.Is.
+var ErrRecvTimeout = machine.ErrRecvTimeout
+
+// WireFromEnv reads the wire bootstrap handshake from the environment
+// (WIRE_RANK, WIRE_PEERS) and reports whether one is present — the way
+// a launched worker process discovers its cluster. The launcher sets
+// the variables via WireEnv.
+func WireFromEnv() (WireConfig, bool, error) { return wire.FromEnv() }
+
+// WireEnv returns the environment entries (WIRE_RANK, WIRE_PEERS) that
+// make WireFromEnv in a child process yield the given rank and peer
+// list — append them to exec.Cmd.Env when spawning cluster workers.
+func WireEnv(rank int, peers []string) []string { return wire.Env(rank, peers) }
+
+// WireSocketAddrs returns p Unix-domain socket addresses under dir,
+// the standard peer list for a single-machine wire cluster.
+func WireSocketAddrs(dir string, p int) []string { return wire.SocketAddrs(dir, p) }
+
+// WireTCPAddrs returns p TCP addresses host:base … host:base+p−1, the
+// standard peer list for a networked wire cluster.
+func WireTCPAddrs(host string, base, p int) []string { return wire.TCPAddrs(host, base, p) }
 
 // Calibration is the measured local-compute profile of this machine:
 // the packed kernel's sustained Gflop/s (and the micro-kernel variant

@@ -3,9 +3,13 @@ package cosma
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"cosma/internal/algo"
 	"cosma/internal/lru"
+	"cosma/internal/machine"
+	"cosma/internal/machine/wire"
 )
 
 // Engine is the amortizing front door to the distributed multiplication
@@ -27,6 +31,15 @@ type Engine struct {
 	plans  *lru.Cache[planKey, *Plan]
 	hits   int64
 	misses int64
+
+	// Wire-transport state (WithWireTransport): the one socket mesh and
+	// machine this process contributes to the cluster. Every plan of the
+	// engine executes on this shared machine, serialized by wireMu —
+	// wire runs are collective across processes, so overlapping two of
+	// them on one mesh would interleave their epochs.
+	wireTr   *wire.Transport
+	wireMach *machine.Machine
+	wireMu   sync.Mutex
 }
 
 // chanMutex is a context-aware mutex: Plan holds it across a cache miss
@@ -49,14 +62,16 @@ func (m chanMutex) unlock() { <-m }
 // option that influences fitting. Two engines with equal options cache
 // interchangeable plans; within one engine only the shape varies.
 type planKey struct {
-	algorithm string
-	m, n, k   int
-	p, s      int
-	delta     float64
-	net       NetworkParams // zero value when counting
-	timed     bool
-	overlap   bool
-	autotune  bool
+	algorithm   string
+	m, n, k     int
+	p, s        int
+	delta       float64
+	net         NetworkParams // zero value when counting
+	timed       bool
+	overlap     bool
+	autotune    bool
+	wire        bool
+	recvTimeout time.Duration
 }
 
 type engineConfig struct {
@@ -69,6 +84,8 @@ type engineConfig struct {
 	kernelThreads int
 	overlap       bool
 	autotune      bool
+	wireCfg       *wire.Config
+	recvTimeout   time.Duration
 	err           error // first option error, surfaced by NewEngine
 }
 
@@ -178,6 +195,51 @@ func WithKernelThreads(n int) Option {
 	}
 }
 
+// WithWireTransport executes runs on the wire transport: the engine's
+// p ranks span the OS processes listed in cfg.Peers, connected over
+// TCP or Unix-domain sockets, and this process hosts the ranks mapped
+// to cfg.Peers[cfg.Rank]. NewEngine listens, dials every peer process
+// and blocks until the mesh is up (cfg.DialTimeout bounds the wait),
+// so all peer processes must construct their engines concurrently —
+// see WireFromEnv/WireEnv for the launcher handshake.
+//
+// Wire runs are collective: every process must issue the same sequence
+// of multiplications (same shapes, same order). The process hosting
+// rank 0 receives the gathered product; the others get a zero matrix
+// of the right shape. Only algorithms whose plans gather their result
+// tiles (COSMA, SUMMA) are supported. Close the engine to tear the
+// mesh down. Incompatible with WithNetwork — the wire transport
+// measures real traffic, not the α-β-γ model.
+func WithWireTransport(cfg WireConfig) Option {
+	return func(c *engineConfig) {
+		if len(cfg.Peers) < 1 {
+			c.err = fmt.Errorf("cosma: wire transport needs at least one peer address")
+			return
+		}
+		if cfg.Rank < 0 || cfg.Rank >= len(cfg.Peers) {
+			c.err = fmt.Errorf("cosma: wire rank %d out of range for %d peers", cfg.Rank, len(cfg.Peers))
+			return
+		}
+		c.wireCfg = &cfg
+	}
+}
+
+// WithRecvTimeout bounds every blocking receive and barrier wait of
+// the engine's executions: a rank parked longer than d aborts the run
+// with an error wrapping ErrRecvTimeout instead of hanging forever.
+// On the wire transport this is the liveness guard against a peer
+// process dying mid-run; it works on the in-process transports too.
+// Zero (the default) waits indefinitely.
+func WithRecvTimeout(d time.Duration) Option {
+	return func(c *engineConfig) {
+		if d < 0 {
+			c.err = fmt.Errorf("cosma: receive timeout %v must be ≥ 0", d)
+			return
+		}
+		c.recvTimeout = d
+	}
+}
+
 // WithPlanCacheSize bounds the LRU plan cache to n distinct shapes
 // (default 64, minimum 1).
 func WithPlanCacheSize(n int) Option {
@@ -201,6 +263,15 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	if cfg.err != nil {
 		return nil, cfg.err
 	}
+	if cfg.wireCfg != nil {
+		if cfg.network != nil {
+			return nil, fmt.Errorf("cosma: WithWireTransport and WithNetwork are mutually exclusive — the wire transport measures real traffic, not the α-β-γ model")
+		}
+		if cfg.procs != 0 && cfg.procs != len(cfg.wireCfg.Peers) {
+			return nil, fmt.Errorf("cosma: WithProcs(%d) disagrees with the %d wire peer addresses", cfg.procs, len(cfg.wireCfg.Peers))
+		}
+		cfg.procs = len(cfg.wireCfg.Peers)
+	}
 	if cfg.procs == 0 {
 		cfg.procs = 1
 	}
@@ -214,12 +285,44 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		runner: runner,
 		mu:     make(chanMutex, 1),
 		plans:  lru.New[planKey, *Plan](cfg.cacheSize),
-	}, nil
+	}
+	if cfg.wireCfg != nil {
+		tr, err := wire.New(*cfg.wireCfg)
+		if err != nil {
+			return nil, err
+		}
+		e.wireTr = tr
+		e.wireMach = machine.NewWithTransport(tr)
+		if cfg.recvTimeout > 0 {
+			e.wireMach.SetRecvTimeout(cfg.recvTimeout)
+		}
+	}
+	return e, nil
+}
+
+// Close tears down the engine's wire transport, if any: the listener
+// and every peer connection are closed and ranks parked in a receive
+// are woken. Engines without WithWireTransport hold no external
+// resources and Close is a no-op. Safe to call more than once.
+func (e *Engine) Close() error {
+	if e.wireTr == nil {
+		return nil
+	}
+	return e.wireTr.Close()
+}
+
+// WireRank returns the index of this process in the wire peer list and
+// true when the engine runs on the wire transport.
+func (e *Engine) WireRank() (int, bool) {
+	if e.cfg.wireCfg == nil {
+		return 0, false
+	}
+	return e.cfg.wireCfg.Rank, true
 }
 
 // Algorithm returns the display name of the engine's algorithm.
@@ -264,6 +367,8 @@ func (e *Engine) key(m, n, k int) planKey {
 	}
 	key.overlap = e.cfg.overlap
 	key.autotune = e.cfg.autotune
+	key.wire = e.cfg.wireCfg != nil
+	key.recvTimeout = e.cfg.recvTimeout
 	if e.cfg.network != nil {
 		key.net, key.timed = *e.cfg.network, true
 	}
@@ -291,7 +396,20 @@ func (e *Engine) Plan(ctx context.Context, m, n, k int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{inner: inner, network: e.cfg.network, kernelThreads: e.cfg.kernelThreads, autotune: e.cfg.autotune}
+	p := &Plan{
+		inner: inner, network: e.cfg.network,
+		kernelThreads: e.cfg.kernelThreads, autotune: e.cfg.autotune,
+		recvTimeout: e.cfg.recvTimeout,
+	}
+	if e.wireMach != nil {
+		// The distributed-gather gate of algo.NewExecutorOpts, surfaced
+		// at planning time so execution can't fail on it later.
+		if d, ok := inner.(algo.Distributed); !ok || !d.Distributed() {
+			return nil, fmt.Errorf("cosma: algorithm %s cannot run on the wire transport (no distributed result gather); use cosma or summa", inner.Algorithm())
+		}
+		p.sharedMach = e.wireMach
+		p.execMu = &e.wireMu
+	}
 	e.plans.Add(key, p)
 	e.misses++
 	return p, nil
@@ -343,6 +461,11 @@ func (e *Engine) MultiplyBatch(ctx context.Context, pairs []Pair) ([]*Matrix, []
 	plan, err := e.Plan(ctx, m, n, k)
 	if err != nil {
 		return nil, nil, err
+	}
+	if plan.execMu != nil {
+		// Wire runs are collective and must not interleave.
+		plan.execMu.Lock()
+		defer plan.execMu.Unlock()
 	}
 	exec := plan.acquire()
 	defer plan.release(exec)

@@ -1,63 +1,74 @@
-// Serving: the engine as a long-lived multiplication service. A mixed
-// stream of request shapes flows through one shared Engine from several
-// workers; same-shape batches go through MultiplyBatch so every request
-// after the first reuses the cached plan and a pooled executor. The
-// run ends with the plan-cache hit statistics and a per-shape timing
-// comparison of the cold (plan + execute) and warm (execute only)
-// paths.
+// Serving: a thin client of the cosmad HTTP API. The example brings
+// the cosmad serving stack (the same coalescing server the daemon
+// runs) up on a loopback listener, then speaks to it exactly as a
+// remote client would: several workers POST mixed-shape JSON
+// multiplications to /v1/multiply, one answer is verified against a
+// locally computed product, /v1/stats shows how the server batched
+// the stream, and a graceful drain flips /healthz to 503.
+//
+// Point the same requests at a real daemon by starting one first:
+//
+//	cosmad -addr :8642 &
+//	go run ./examples/serving -url http://localhost:8642
+//
+// Without -url the example hosts the server itself and tears it down
+// at the end.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"time"
 
 	"cosma"
+	"cosma/internal/serve"
 )
 
 func main() {
-	ctx := context.Background()
-	eng, err := cosma.NewEngine(cosma.WithProcs(16), cosma.WithMemory(1<<14))
-	if err != nil {
-		log.Fatal(err)
-	}
+	url := flag.String("url", "", "base URL of a running cosmad (empty: host one in-process)")
+	flag.Parse()
+	log.SetFlags(0)
 
-	// The service's request mix: a few recurring shapes, as in a
-	// CARMA-style recursive workload where the same subproblem shape
-	// repeats across the tree.
+	// Without -url, host the daemon's stack ourselves: a coalescing
+	// server over a shared engine, behind the same HTTP handler cosmad
+	// mounts. Everything below this block is plain HTTP.
+	var srv *serve.Server
+	base := *url
+	if base == "" {
+		var err error
+		srv, err = serve.New(serve.Options{
+			Engine: []cosma.Option{cosma.WithProcs(4), cosma.WithMemory(1 << 20)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := httptest.NewServer(serve.Handler(srv))
+		defer hs.Close()
+		base = hs.URL
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// The request mix: a few recurring shapes, as in a CARMA-style
+	// recursive workload where the same subproblem shape repeats. Firing
+	// them concurrently is what gives the server same-shape requests to
+	// coalesce into batched executions.
 	shapes := []struct{ m, n, k int }{
 		{256, 256, 256},
 		{128, 128, 512}, // inner-product-ish
 		{384, 96, 96},   // tall and skinny
 	}
-
-	// Batched path: each shape's requests share one plan and one
-	// executor.
-	const batchSize = 8
-	for _, sh := range shapes {
-		pairs := make([]cosma.Pair, batchSize)
-		for i := range pairs {
-			pairs[i] = cosma.Pair{
-				A: cosma.RandomMatrix(sh.m, sh.k, int64(i+1)),
-				B: cosma.RandomMatrix(sh.k, sh.n, int64(i+100)),
-			}
-		}
-		start := time.Now()
-		_, reps, err := eng.MultiplyBatch(ctx, pairs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("batch %dx (%d×%d·%d×%d) on grid %-9s  %8.1fms total, %.0f words max/rank\n",
-			len(pairs), sh.m, sh.k, sh.k, sh.n, reps[0].Grid,
-			float64(time.Since(start).Microseconds())/1e3, float64(reps[0].MaxVolume))
-	}
-
-	// Concurrent path: 8 workers hammer the shared engine with the same
-	// shape mix; every plan is already cached, so all of this is warm.
+	const workers = 8
 	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -65,38 +76,113 @@ func main() {
 			a := cosma.RandomMatrix(sh.m, sh.k, int64(w))
 			b := cosma.RandomMatrix(sh.k, sh.n, int64(w+50))
 			for i := 0; i < 4; i++ {
-				if _, _, err := eng.Exec(ctx, a, b); err != nil {
-					log.Fatal(err)
+				resp, err := multiply(client, base, sh.m, sh.n, sh.k, a.Data, b.Data)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if w == 0 && i == 0 {
+					if err := verify(a, b, resp.C); err != nil {
+						errs[w] = err
+						return
+					}
+					fmt.Printf("%d×%d·%d×%d on grid %s: %d result words, verified against a local product\n",
+						sh.m, sh.k, sh.k, sh.n, resp.Grid, len(resp.C))
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	stats := eng.CacheStats()
-	fmt.Printf("\nplan cache: %d hits / %d misses (%.1f%% hit rate), %d/%d shapes cached\n",
-		stats.Hits, stats.Misses,
-		100*float64(stats.Hits)/float64(stats.Hits+stats.Misses),
-		stats.Len, stats.Cap)
+	// What the server made of the stream: /v1/stats is the same
+	// snapshot cosmad logs on shutdown.
+	var stats serve.Stats
+	if err := getJSON(client, base+"/v1/stats", &stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver saw %d requests in %d batched executions (largest batch %d)\n",
+		stats.Requests, stats.Batches, stats.MaxBatch)
+	fmt.Printf("plan cache: %d hits / %d misses; %d shed, %d rejected\n",
+		stats.PlanHits, stats.PlanMisses, stats.Shed, stats.Rejected)
 
-	// Cold vs warm: a fresh engine pays the grid fit on first contact
-	// with a shape; the warm engine executes immediately.
-	a := cosma.RandomMatrix(256, 256, 7)
-	b := cosma.RandomMatrix(256, 256, 8)
-	cold, err := cosma.NewEngine(cosma.WithProcs(16), cosma.WithMemory(1<<14))
+	// Graceful drain (only meaningful for the server we host): in-flight
+	// work finishes, then the health check goes dark so a load balancer
+	// stops routing here.
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Fatal(err)
+		}
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("\nafter drain, /healthz answers %d: the replica is out of rotation\n", resp.StatusCode)
+	}
+}
+
+// multiply POSTs one multiplication and decodes the answer.
+func multiply(client *http.Client, base string, m, n, k int, a, b []float64) (*serve.MultiplyResponse, error) {
+	body, err := json.Marshal(serve.MultiplyRequest{M: m, N: n, K: k, A: a, B: b})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	t0 := time.Now()
-	if _, _, err := cold.Exec(ctx, a, b); err != nil {
-		log.Fatal(err)
+	resp, err := client.Post(base+"/v1/multiply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
 	}
-	coldTime := time.Since(t0)
-	t0 = time.Now()
-	if _, _, err := eng.Exec(ctx, a, b); err != nil {
-		log.Fatal(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("multiply: status %d: %s", resp.StatusCode, e.Error)
 	}
-	fmt.Printf("cold first call %8.1fms   warm call %8.1fms\n",
-		float64(coldTime.Microseconds())/1e3,
-		float64(time.Since(t0).Microseconds())/1e3)
+	var out serve.MultiplyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// verify recomputes the product locally (naive triple loop) and
+// compares within floating-point slack — the server may associate the
+// k-sum differently than the naive order.
+func verify(a, b *cosma.Matrix, c []float64) error {
+	if len(c) != a.Rows*b.Cols {
+		return fmt.Errorf("verify: got %d words, want %d", len(c), a.Rows*b.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for l := 0; l < a.Cols; l++ {
+				sum += a.Data[i*a.Stride+l] * b.Data[l*b.Stride+j]
+			}
+			got := c[i*b.Cols+j]
+			if math.Abs(got-sum) > 1e-9*math.Max(1, math.Abs(sum)) {
+				return fmt.Errorf("verify: C[%d,%d] = %g, want %g", i, j, got, sum)
+			}
+		}
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"cosma/internal/machine"
 	"cosma/internal/matrix"
@@ -72,6 +73,16 @@ type Decomposed interface {
 	Decomposition() Decomposition
 }
 
+// Distributed is implemented by plans whose Execute gathers the result
+// tiles to rank 0 when the machine's ranks span several OS processes
+// (the wire transport), so the process hosting rank 0 returns the full
+// product and every other process returns a zero matrix. Plans without
+// it are rejected by Exec on a multi-process machine rather than
+// silently returning a partial result.
+type Distributed interface {
+	Distributed() bool
+}
+
 // Executor executes one Plan repeatedly on a dedicated pre-built
 // machine with per-rank scratch buffers that are recycled across calls,
 // so repeated same-shape multiplications pay only the execution cost.
@@ -81,6 +92,78 @@ type Executor struct {
 	plan    Plan
 	mach    *machine.Machine
 	scratch *Arena
+	// ownsMach records whether the executor built its machine (and so
+	// nothing else shares it); supplied machines — the wire transport's
+	// shared per-process machine — are left to their owner to close.
+	ownsMach bool
+}
+
+// ExecOptions configures NewExecutorOpts. The zero value reproduces
+// NewExecutor(p, nil, 0, false): a fresh counting machine,
+// GOMAXPROCS-aware kernel threads, default kernel parameters.
+type ExecOptions struct {
+	// Network selects the timed α-β-γ transport when set; ignored when
+	// Machine is supplied.
+	Network *machine.NetworkParams
+	// KernelThreads bounds each rank kernel's worker pool; ≤ 0 resolves
+	// the GOMAXPROCS-aware default (see NewExecutor).
+	KernelThreads int
+	// Autotune runs the kernels with autotuned block sizes.
+	Autotune bool
+	// RecvTimeout, when positive, bounds every blocking receive and
+	// barrier of the executor's machine; an expired wait aborts the run
+	// with machine.ErrRecvTimeout instead of hanging on a lost peer.
+	RecvTimeout time.Duration
+	// Machine, when non-nil, is a pre-built machine spanning Procs()
+	// ranks to execute on — the way wire-backed executors share their
+	// process's one socket mesh. The caller keeps ownership; executions
+	// on the same machine must not overlap.
+	Machine *machine.Machine
+}
+
+// NewExecutorOpts builds an executor for p under o. It is the general
+// form of NewExecutor: a supplied machine is used as-is (its transport
+// may span several OS processes), otherwise one is built on o.Network.
+func NewExecutorOpts(p Plan, o ExecOptions) (*Executor, error) {
+	mach := o.Machine
+	if mach == nil {
+		mach = machine.NewWithNetwork(p.Procs(), o.Network)
+	} else if mach.P() != p.Procs() {
+		return nil, fmt.Errorf("algo: plan is for p=%d but the supplied machine has %d ranks", p.Procs(), mach.P())
+	}
+	if mach.MultiProcess() {
+		if d, ok := p.(Distributed); !ok || !d.Distributed() {
+			return nil, fmt.Errorf("algo: %s plans cannot run on a multi-process machine (no distributed result gather)", p.Algorithm())
+		}
+	}
+	if o.RecvTimeout > 0 {
+		mach.SetRecvTimeout(o.RecvTimeout)
+	}
+	used := p.Used()
+	if used < 1 {
+		used = 1
+	}
+	sharing := used
+	// On a multi-process machine only the local ranks compete for this
+	// process's cores.
+	if l := len(mach.LocalRanks()); l > 0 && l < sharing {
+		sharing = l
+	}
+	kernelThreads := o.KernelThreads
+	if kernelThreads <= 0 {
+		kernelThreads = runtime.GOMAXPROCS(0) / sharing
+		if kernelThreads < 1 {
+			kernelThreads = 1
+		}
+	}
+	scratch := NewArena(p.Procs())
+	scratch.kernelThreads = kernelThreads
+	if o.Autotune {
+		m, n, k := p.Dims()
+		tp := matrix.Tune(matrix.SizeClass(m, n, k, used), kernelThreads)
+		scratch.tuned = &tp
+	}
+	return &Executor{plan: p, mach: mach, scratch: scratch, ownsMach: o.Machine == nil}, nil
 }
 
 // NewExecutor builds an executor for p: the machine (on the given
@@ -100,32 +183,25 @@ type Executor struct {
 // applied. The first executor for a new (class, threads) pair pays
 // the sub-second search; every later one reads the cache.
 func NewExecutor(p Plan, net *machine.NetworkParams, kernelThreads int, autotune bool) *Executor {
-	used := p.Used()
-	if used < 1 {
-		used = 1
+	e, err := NewExecutorOpts(p, ExecOptions{Network: net, KernelThreads: kernelThreads, Autotune: autotune})
+	if err != nil {
+		// Unreachable: with no supplied machine every option combination
+		// is valid.
+		panic(err)
 	}
-	if kernelThreads <= 0 {
-		kernelThreads = runtime.GOMAXPROCS(0) / used
-		if kernelThreads < 1 {
-			kernelThreads = 1
-		}
-	}
-	scratch := NewArena(p.Procs())
-	scratch.kernelThreads = kernelThreads
-	if autotune {
-		m, n, k := p.Dims()
-		tp := matrix.Tune(matrix.SizeClass(m, n, k, used), kernelThreads)
-		scratch.tuned = &tp
-	}
-	return &Executor{
-		plan:    p,
-		mach:    machine.NewWithNetwork(p.Procs(), net),
-		scratch: scratch,
-	}
+	return e
 }
 
 // Plan returns the plan this executor drives.
 func (e *Executor) Plan() Plan { return e.plan }
+
+// Machine returns the machine the executor runs on.
+func (e *Executor) Machine() *machine.Machine { return e.mach }
+
+// OwnsMachine reports whether the executor built (and so exclusively
+// holds) its machine, as opposed to driving one supplied through
+// ExecOptions.Machine.
+func (e *Executor) OwnsMachine() bool { return e.ownsMach }
 
 // Exec multiplies a·b under the executor's plan and reports the
 // executed run. It validates the inputs against the planned shape and
@@ -144,6 +220,11 @@ func (e *Executor) Exec(ctx context.Context, a, b *matrix.Dense) (*matrix.Dense,
 	c, err := e.plan.Execute(ctx, e.mach, e.scratch, a, b)
 	if err != nil {
 		return nil, nil, err
+	}
+	if e.mach.MultiProcess() {
+		// The report's traffic columns cover all p ranks, not just the
+		// local ones: merge the remote processes' counters first.
+		e.mach.SyncCounters()
 	}
 	rep := NewReport(e.plan.Algorithm(), e.plan.Grid(), e.mach, e.plan.Used(), e.plan.Model())
 	if o, ok := e.plan.(Overlapper); ok {

@@ -82,6 +82,9 @@ func NearSquare(p int) (pr, pc int) {
 const (
 	sumTagA = 1 << 20
 	sumTagB = 2 << 20
+	// sumTagC carries the multi-process result gather: every rank sends
+	// its C tile to rank 0 (tag offset by sender id).
+	sumTagC = 3 << 20
 )
 
 // Plan implements algo.Planner: the grid factorization, round segments
@@ -129,16 +132,27 @@ func (pl *summaPlan) Model() algo.Model   { return pl.model }
 // Overlap implements algo.Overlapper.
 func (pl *summaPlan) Overlap() bool { return pl.overlap }
 
-// Execute implements algo.Plan.
+// Distributed implements algo.Distributed: on a multi-process machine
+// Execute gathers every rank's C tile to rank 0.
+func (pl *summaPlan) Distributed() bool { return true }
+
+// Execute implements algo.Plan. On a multi-process machine each rank
+// sends its C tile to rank 0 (the sumTagC gather), so only the process
+// hosting rank 0 assembles the product — the others return a zero
+// matrix.
 func (pl *summaPlan) Execute(ctx context.Context, mach *machine.Machine, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
 	if mach.P() != pl.p {
 		return nil, fmt.Errorf("baselines: plan is for p=%d but machine has %d ranks", pl.p, mach.P())
 	}
+	multi := mach.MultiProcess()
 	tiles := make([]*matrix.Dense, pl.p)
 	err := mach.RunCtx(ctx, func(r *machine.Rank) error {
 		tile, err := pl.rankProgram(r, scratch, a, b)
-		tiles[r.ID()] = tile
-		return err
+		if err != nil || !multi {
+			tiles[r.ID()] = tile
+			return err
+		}
+		return pl.gatherTiles(r, tile, tiles)
 	})
 	if err != nil {
 		return nil, err
@@ -146,12 +160,40 @@ func (pl *summaPlan) Execute(ctx context.Context, mach *machine.Machine, scratch
 
 	out := matrix.New(pl.m, pl.n)
 	for id := 0; id < pl.p; id++ {
+		if tiles[id] == nil {
+			continue // a remote rank's tile, gathered elsewhere
+		}
 		i, j := id%pl.pr, id/pl.pr
 		rows := layout.Block(pl.m, pl.pr, i)
 		cols := layout.Block(pl.n, pl.pc, j)
 		out.View(rows.Lo, cols.Lo, rows.Len(), cols.Len()).CopyFrom(tiles[id])
+		if multi && id != 0 {
+			// Gathered tiles are pool-loaned copies; rank 0's own tile
+			// is arena-owned and stays with the arena.
+			machine.Release(tiles[id].Data)
+		}
 	}
 	return out, nil
+}
+
+// gatherTiles is the multi-process epilogue: every rank except 0 sends
+// a copy of its (arena-owned) C tile to rank 0, which collects all p
+// tiles for assembly. Tags are offset by the sender id so the receives
+// match deterministically.
+func (pl *summaPlan) gatherTiles(r *machine.Rank, tile *matrix.Dense, tiles []*matrix.Dense) error {
+	if r.ID() != 0 {
+		// Copying send: the tile is arena scratch, reused next run.
+		r.Send(0, sumTagC+r.ID(), tile.Data)
+		return nil
+	}
+	tiles[0] = tile
+	for id := 1; id < pl.p; id++ {
+		i, j := id%pl.pr, id/pl.pr
+		rows := layout.Block(pl.m, pl.pr, i)
+		cols := layout.Block(pl.n, pl.pc, j)
+		tiles[id] = matrix.FromSlice(rows.Len(), cols.Len(), r.Recv(id, sumTagC+id))
+	}
+	return nil
 }
 
 func (pl *summaPlan) rankProgram(r *machine.Rank, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {

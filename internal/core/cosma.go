@@ -60,6 +60,9 @@ const (
 	tagA = 1 << 20
 	tagB = 2 << 20
 	tagC = 3 << 20
+	// tagOut carries the multi-process result gather: fiber roots send
+	// their final C tiles to rank 0 (tag offset by sender id).
+	tagOut = 4 << 20
 )
 
 // plan is COSMA's compiled schedule for one problem shape: the fitted
@@ -143,22 +146,33 @@ func (pl *plan) Decomposition() algo.Decomposition {
 	}
 }
 
+// Distributed implements algo.Distributed: on a multi-process machine
+// Execute gathers the fiber roots' tiles to rank 0, so the process
+// hosting rank 0 returns the full product.
+func (pl *plan) Distributed() bool { return true }
+
 // Execute implements algo.Plan. The returned matrix is assembled from
 // the ranks' distributed output tiles; the tile payloads (loaned from
 // the machine pool by the fiber reduction) are released back once
-// copied out.
+// copied out. On a multi-process machine every fiber root forwards its
+// tile to rank 0 (the tagOut gather), so only the process hosting
+// rank 0 assembles the product — the others return a zero matrix.
 func (pl *plan) Execute(ctx context.Context, mach *machine.Machine, scratch *algo.Arena, a, b *matrix.Dense) (*matrix.Dense, error) {
 	if mach.P() != pl.p {
 		return nil, fmt.Errorf("core: plan is for p=%d but machine has %d ranks", pl.p, mach.P())
 	}
+	multi := mach.MultiProcess()
 	tiles := make([]*matrix.Dense, pl.g.Ranks()) // final C tiles, indexed by rank
 	err := mach.RunCtx(ctx, func(r *machine.Rank) error {
 		if r.ID() >= pl.g.Ranks() {
 			return nil // idle rank left out by the grid fitting
 		}
 		tile, err := pl.rankProgram(r, scratch, a, b)
-		tiles[r.ID()] = tile
-		return err
+		if err != nil || !multi {
+			tiles[r.ID()] = tile
+			return err
+		}
+		return pl.gatherTiles(r, tile, tiles)
 	})
 	if err != nil {
 		return nil, err
@@ -176,6 +190,31 @@ func (pl *plan) Execute(ctx context.Context, mach *machine.Machine, scratch *alg
 		machine.Release(tiles[id].Data)
 	}
 	return out, nil
+}
+
+// gatherTiles is the multi-process epilogue: fiber roots other than
+// rank 0 hand their (pool-loaned) tile to rank 0, which collects every
+// root's tile into tiles for assembly. The tags are offset by the
+// sender id, so the receives match deterministically regardless of
+// arrival order. Non-root ranks have no tile and send nothing.
+func (pl *plan) gatherTiles(r *machine.Rank, tile *matrix.Dense, tiles []*matrix.Dense) error {
+	if r.ID() != 0 {
+		if tile != nil {
+			r.SendOwned(0, tagOut+r.ID(), tile.Data)
+		}
+		return nil
+	}
+	tiles[0] = tile
+	for id := 1; id < pl.g.Ranks(); id++ {
+		im, in, ik := pl.g.Coords(id)
+		if ik != 0 {
+			continue // not a fiber root: no output tile
+		}
+		rows := layout.Block(pl.m, pl.g.Pm, im)
+		cols := layout.Block(pl.n, pl.g.Pn, in)
+		tiles[id] = matrix.FromSlice(rows.Len(), cols.Len(), r.Recv(id, tagOut+id))
+	}
+	return nil
 }
 
 // rankProgram is one rank's part of Algorithm 1. It returns the rank's

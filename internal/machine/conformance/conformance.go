@@ -1,0 +1,324 @@
+// Package conformance is the backend-agnostic machine.Transport test
+// suite: one set of semantic checks — FIFO delivery per (src, tag),
+// owned-vs-copied sends, Request Wait/Test, barriers and their
+// poisoning, cancellation, receive deadlines, machine reuse — run
+// against every backend (counting, timed, wire loopback, wire over
+// sockets) so a new transport cannot drift from the delivery
+// discipline the algorithms assume.
+package conformance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cosma/internal/machine"
+)
+
+// Cluster is one logical machine under test. In-process backends have
+// a single Machine hosting all p ranks; multi-process backends (wire)
+// have one Machine per simulated process, each hosting a subset.
+type Cluster struct {
+	Machines []*machine.Machine
+	// Cleanup tears the cluster down (closing transports); may be nil.
+	Cleanup func()
+}
+
+// Factory builds a fresh p-rank cluster for one subtest.
+type Factory func(t *testing.T, p int) *Cluster
+
+// HostOf returns the machine that runs programs for rank.
+func (c *Cluster) HostOf(rank int) *machine.Machine {
+	for _, m := range c.Machines {
+		for _, id := range m.LocalRanks() {
+			if id == rank {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// run executes program on every machine of the cluster concurrently
+// (the multi-process launch discipline) and returns one error per
+// machine, in Machines order.
+func (c *Cluster) run(ctx context.Context, program func(*machine.Rank) error) []error {
+	errs := make([]error, len(c.Machines))
+	var wg sync.WaitGroup
+	for i, m := range c.Machines {
+		wg.Add(1)
+		go func(i int, m *machine.Machine) {
+			defer wg.Done()
+			errs[i] = m.RunCtx(ctx, program)
+		}(i, m)
+	}
+	wg.Wait()
+	return errs
+}
+
+func first(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run exercises the full conformance suite against clusters built by
+// factory. Each subtest gets a fresh cluster.
+func Run(t *testing.T, factory Factory) {
+	const p = 4
+
+	cluster := func(t *testing.T) *Cluster {
+		c := factory(t, p)
+		if len(c.Machines) == 0 {
+			t.Fatal("factory returned a cluster with no machines")
+		}
+		if c.Cleanup != nil {
+			t.Cleanup(c.Cleanup)
+		}
+		return c
+	}
+
+	t.Run("FIFOPerKey", func(t *testing.T) {
+		c := cluster(t)
+		const n = 48
+		err := first(c.run(context.Background(), func(r *machine.Rank) error {
+			// Interleave two tags to every peer; per (src, tag) order
+			// must survive even though the streams share connections.
+			for k := 0; k < n; k++ {
+				for dst := 0; dst < r.P(); dst++ {
+					if dst == r.ID() {
+						continue
+					}
+					r.Send(dst, 7, []float64{float64(r.ID()*1000 + k)})
+					r.Send(dst, 9, []float64{float64(r.ID()*1000 + k + 500)})
+				}
+			}
+			for src := 0; src < r.P(); src++ {
+				if src == r.ID() {
+					continue
+				}
+				for k := 0; k < n; k++ {
+					got := r.Recv(src, 7)
+					want := float64(src*1000 + k)
+					if len(got) != 1 || got[0] != want {
+						return fmt.Errorf("rank %d: tag 7 msg %d from %d: got %v want [%v]", r.ID(), k, src, got, want)
+					}
+					machine.Release(got)
+				}
+				for k := 0; k < n; k++ {
+					got := r.Recv(src, 9)
+					want := float64(src*1000 + k + 500)
+					if len(got) != 1 || got[0] != want {
+						return fmt.Errorf("rank %d: tag 9 msg %d from %d: got %v want [%v]", r.ID(), k, src, got, want)
+					}
+					machine.Release(got)
+				}
+			}
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("OwnedAndCopiedSends", func(t *testing.T) {
+		c := cluster(t)
+		err := first(c.run(context.Background(), func(r *machine.Rank) error {
+			dst := (r.ID() + 1) % r.P()
+			src := (r.ID() + r.P() - 1) % r.P()
+			// Copied send: mutating the buffer after Send must not be
+			// visible to the receiver.
+			buf := []float64{1, 2, 3}
+			r.Send(dst, 5, buf)
+			buf[0] = 99
+			// Owned send: the pooled buffer travels without copying.
+			owned := machine.Loan(3)
+			owned[0], owned[1], owned[2] = 7, 8, 9
+			r.SendOwned(dst, 6, owned)
+
+			got := r.Recv(src, 5)
+			if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+				return fmt.Errorf("rank %d: copied send arrived as %v", r.ID(), got)
+			}
+			machine.Release(got)
+			got = r.Recv(src, 6)
+			if len(got) != 3 || got[0] != 7 || got[1] != 8 || got[2] != 9 {
+				return fmt.Errorf("rank %d: owned send arrived as %v", r.ID(), got)
+			}
+			machine.Release(got)
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("RequestWaitTest", func(t *testing.T) {
+		c := cluster(t)
+		err := first(c.run(context.Background(), func(r *machine.Rank) error {
+			dst := (r.ID() + 1) % r.P()
+			src := (r.ID() + r.P() - 1) % r.P()
+			recv := r.IRecv(src, 11)
+			send := r.ISend(dst, 11, []float64{float64(r.ID())})
+			if _, done := send.Test(); !done {
+				return fmt.Errorf("rank %d: eager ISend not complete at post", r.ID())
+			}
+			send.Wait()
+			// Poll the receive to completion, then check Wait returns
+			// the identical settled payload.
+			var got []float64
+			for {
+				var done bool
+				if got, done = recv.Test(); done {
+					break
+				}
+				runtime.Gosched()
+			}
+			if again := recv.Wait(); &again[0] != &got[0] {
+				return fmt.Errorf("rank %d: Wait after Test returned a different payload", r.ID())
+			}
+			if len(got) != 1 || got[0] != float64(src) {
+				return fmt.Errorf("rank %d: IRecv payload %v, want [%d]", r.ID(), got, src)
+			}
+			machine.Release(got)
+			// And a plain blocking Wait.
+			req := r.IRecv(src, 12)
+			r.Send(dst, 12, []float64{42})
+			if got := req.Wait(); len(got) != 1 || got[0] != 42 {
+				return fmt.Errorf("rank %d: IRecv Wait payload %v, want [42]", r.ID(), got)
+			}
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("Barrier", func(t *testing.T) {
+		c := cluster(t)
+		const rounds = 3
+		var arrived [rounds]atomic.Int64
+		err := first(c.run(context.Background(), func(r *machine.Rank) error {
+			for round := 0; round < rounds; round++ {
+				arrived[round].Add(1)
+				r.Barrier()
+				if n := arrived[round].Load(); n != int64(r.P()) {
+					return fmt.Errorf("rank %d: released from barrier round %d with %d/%d ranks arrived", r.ID(), round, n, r.P())
+				}
+			}
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("BarrierPoisoning", func(t *testing.T) {
+		c := cluster(t)
+		errs := c.run(context.Background(), func(r *machine.Rank) error {
+			if r.ID() == r.P()-1 {
+				panic("conformance: simulated rank failure")
+			}
+			r.Barrier()
+			return nil
+		})
+		// Every machine must unwind: the failing rank's with the panic
+		// as root cause, the rest via poisoning/abort — never a hang.
+		for i, err := range errs {
+			if err == nil {
+				t.Fatalf("machine %d returned nil from a poisoned run", i)
+			}
+		}
+	})
+
+	t.Run("Cancellation", func(t *testing.T) {
+		c := cluster(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		time.AfterFunc(30*time.Millisecond, cancel)
+		errs := c.run(ctx, func(r *machine.Rank) error {
+			// Every rank parks in a receive that is never satisfied.
+			r.Recv((r.ID()+1)%r.P(), 404)
+			return errors.New("receive of an unsent message returned")
+		})
+		for i, err := range errs {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("machine %d: got %v, want context.Canceled", i, err)
+			}
+		}
+	})
+
+	t.Run("RecvDeadline", func(t *testing.T) {
+		c := cluster(t)
+		for _, m := range c.Machines {
+			m.SetRecvTimeout(100 * time.Millisecond)
+		}
+		errs := c.run(context.Background(), func(r *machine.Rank) error {
+			if r.ID() == 0 {
+				r.Recv(1, 404) // never sent: must time out, not hang
+				return errors.New("receive of an unsent message returned")
+			}
+			return nil
+		})
+		if err := errs[hostIndex(c, 0)]; !errors.Is(err, machine.ErrRecvTimeout) {
+			t.Fatalf("rank 0 host: got %v, want ErrRecvTimeout", err)
+		}
+		// The machines stay usable: with the deadline lifted, the next
+		// run must succeed.
+		for _, m := range c.Machines {
+			m.SetRecvTimeout(0)
+		}
+		if err := first(c.run(context.Background(), pingRing)); err != nil {
+			t.Fatalf("run after a deadline failure: %v", err)
+		}
+	})
+
+	t.Run("ReuseAndCounterReset", func(t *testing.T) {
+		c := cluster(t)
+		if err := first(c.run(context.Background(), pingRing)); err != nil {
+			t.Fatal(err)
+		}
+		want := c.HostOf(1).Counters(1)
+		if want.SentWords == 0 || want.RecvWords == 0 {
+			t.Fatalf("rank 1 counted no traffic: %+v", want)
+		}
+		if err := first(c.run(context.Background(), pingRing)); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.HostOf(1).Counters(1); got != want {
+			t.Fatalf("counters not reset between runs: first %+v, second %+v", want, got)
+		}
+	})
+}
+
+// pingRing is the minimal all-ranks program reused by several
+// subtests: each rank sends one message around a ring and verifies
+// the one it receives.
+func pingRing(r *machine.Rank) error {
+	dst := (r.ID() + 1) % r.P()
+	src := (r.ID() + r.P() - 1) % r.P()
+	r.Send(dst, 21, []float64{float64(r.ID()), 1, 2, 3})
+	got := r.Recv(src, 21)
+	if len(got) != 4 || got[0] != float64(src) {
+		return fmt.Errorf("rank %d: ring payload %v, want leading %d", r.ID(), got, src)
+	}
+	machine.Release(got)
+	return nil
+}
+
+func hostIndex(c *Cluster, rank int) int {
+	host := c.HostOf(rank)
+	for i, m := range c.Machines {
+		if m == host {
+			return i
+		}
+	}
+	return 0
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // Counters aggregates one rank's traffic and work.
@@ -25,11 +26,45 @@ func (c Counters) Volume() int64 { return c.SentWords + c.RecvWords }
 // the latency proxy L of §2.3.
 func (c Counters) Messages() int64 { return c.SentMsgs + c.RecvMsgs }
 
+// MultiProcess is implemented by transports whose p ranks span several
+// OS processes (the wire backend): LocalRanks lists the ranks hosted in
+// this process, and Run executes the rank program only for those —
+// every peer process runs its own Machine over its own slice of the
+// same logical machine. In-process transports host all p ranks and do
+// not implement it.
+type MultiProcess interface {
+	LocalRanks() []int
+}
+
+// failer is implemented by transports that can fail asynchronously (a
+// wire peer dying mid-run); RunCtx surfaces the failure as the run's
+// root cause instead of the collateral interruptions it triggers.
+type failer interface {
+	Failure() error
+}
+
+// aborter is implemented by transports that learn about remote
+// failures asynchronously (a peer process aborting or a connection
+// dropping): the machine registers its interrupt here so a remote
+// abort poisons the local barrier and wakes parked ranks.
+type aborter interface {
+	OnAbort(func())
+}
+
+// counterSyncer is implemented by multi-process transports that can
+// merge per-process counters after a run; see Machine.SyncCounters.
+type counterSyncer interface {
+	SyncCounters()
+}
+
 // Machine is a simulated distributed machine of p ranks over a
 // Transport.
 type Machine struct {
 	t       Transport
 	barrier *barrier
+	// local is the subset of ranks this process runs programs for —
+	// all p of them except on multi-process transports.
+	local []int
 	// ctx is the context of the Run in progress (Background between
 	// Runs). It is written before the rank goroutines start and read by
 	// them through Rank.Err, so it needs no lock.
@@ -61,10 +96,27 @@ func NewWithNetwork(p int, net *NetworkParams) *Machine {
 }
 
 // NewWithTransport returns a machine over an arbitrary transport
-// backend.
+// backend. On a MultiProcess transport the machine runs programs only
+// for the locally hosted ranks, its barrier spans those ranks (the
+// transport's BarrierSync performs the inter-process half), and remote
+// aborts interrupt the local run.
 func NewWithTransport(t Transport) *Machine {
 	checkP(t.P())
-	return &Machine{t: t, barrier: newBarrier(t.P(), t.BarrierSync), ctx: context.Background()}
+	local := make([]int, t.P())
+	for i := range local {
+		local[i] = i
+	}
+	if mp, ok := t.(MultiProcess); ok {
+		local = mp.LocalRanks()
+		if len(local) < 1 {
+			panic("machine: multi-process transport hosts no local ranks")
+		}
+	}
+	m := &Machine{t: t, barrier: newBarrier(len(local), t.BarrierSync), local: local, ctx: context.Background()}
+	if ab, ok := t.(aborter); ok {
+		ab.OnAbort(m.interrupt)
+	}
+	return m
 }
 
 func newCountingTransport(p int, pooled bool) Transport {
@@ -117,27 +169,32 @@ func (m *Machine) RunCtx(ctx context.Context, program func(r *Rank) error) error
 			<-fired
 		}
 	}()
-	p := m.P()
-	errs := make([]error, p)
+	errs := make([]error, len(m.local))
 	var wg sync.WaitGroup
-	wg.Add(p)
-	for id := 0; id < p; id++ {
-		go func(id int) {
+	wg.Add(len(m.local))
+	for i, id := range m.local {
+		go func(i, id int) {
 			defer wg.Done()
 			defer func() {
 				switch r := recover().(type) {
 				case nil:
 				case interruptedPanic:
-					errs[id] = fmt.Errorf("machine: rank %d: %w", id, errInterrupted)
+					errs[i] = fmt.Errorf("machine: rank %d: %w", id, errInterrupted)
+				case timeoutPanic:
+					errs[i] = fmt.Errorf("machine: rank %d: recv from rank %d (tag %d): %w after %v",
+						id, r.key.src, r.key.tag, ErrRecvTimeout, r.timeout)
+					// The run cannot complete without the lost message;
+					// unwind the peers too.
+					m.interrupt()
 				default:
-					errs[id] = fmt.Errorf("machine: rank %d panicked: %v\n%s", id, r, debug.Stack())
+					errs[i] = fmt.Errorf("machine: rank %d panicked: %v\n%s", id, r, debug.Stack())
 					// Unblock peers parked at a barrier or in a Recv
 					// that this rank will now never satisfy.
 					m.interrupt()
 				}
 			}()
-			errs[id] = program(&Rank{m: m, id: id})
-		}(id)
+			errs[i] = program(&Rank{m: m, id: id})
+		}(i, id)
 	}
 	wg.Wait()
 	m.ctx = context.Background()
@@ -159,6 +216,16 @@ func (m *Machine) RunCtx(ctx context.Context, program func(r *Rank) error) error
 			first = err
 		}
 	}
+	if first != nil {
+		// Every local error is collateral interruption: if the transport
+		// itself failed (a wire peer died or aborted), that is the root
+		// cause worth reporting.
+		if f, ok := m.t.(failer); ok {
+			if ferr := f.Failure(); ferr != nil {
+				return fmt.Errorf("machine: transport failed: %w", ferr)
+			}
+		}
+	}
 	return first
 }
 
@@ -166,15 +233,51 @@ func (m *Machine) RunCtx(ctx context.Context, program func(r *Rank) error) error
 // it is collateral, never the root cause.
 var errInterrupted = errors.New("interrupted while a peer failed or the run was cancelled")
 
-// interrupt unwinds a run in flight: barrier waiters are poisoned and
-// ranks parked in Recv are woken with a cancellation panic.
+// ErrRecvTimeout marks a receive that outlived the transport's
+// SetRecvTimeout deadline — the signature of a lost peer. Match it
+// with errors.Is on the error Run returns.
+var ErrRecvTimeout = errors.New("receive deadline exceeded")
+
+// interrupt unwinds a run in flight: ranks parked in Recv (or in a
+// transport-level barrier wait) are woken with a cancellation panic,
+// then barrier waiters are poisoned. The transport wakes first: a rank
+// parked in a multi-process BarrierSync sits inside barrier.await and
+// still holds the barrier mutex, so poisoning before waking it would
+// deadlock.
 func (m *Machine) interrupt() {
-	m.barrier.poison()
 	m.t.Interrupt()
+	m.barrier.poison()
 }
 
 // Counters returns rank id's traffic from the last Run.
 func (m *Machine) Counters(id int) Counters { return m.t.Counters(id) }
+
+// MultiProcess reports whether the machine's ranks span several OS
+// processes, in which case Run executes programs only for LocalRanks.
+func (m *Machine) MultiProcess() bool {
+	_, ok := m.t.(MultiProcess)
+	return ok
+}
+
+// LocalRanks returns the ranks this process runs programs for — all of
+// them except on a multi-process transport.
+func (m *Machine) LocalRanks() []int { return m.local }
+
+// SetRecvTimeout bounds every blocking receive of subsequent Runs: a
+// rank parked in Recv or Request.Wait longer than d fails the run with
+// ErrRecvTimeout instead of waiting forever on a lost peer. Zero
+// disables the bound.
+func (m *Machine) SetRecvTimeout(d time.Duration) { m.t.SetRecvTimeout(d) }
+
+// SyncCounters merges per-process traffic counters after a Run on a
+// multi-process transport, so rank-0's process reports machine-wide
+// volumes. It is a collective — every process must call it after the
+// same run — and a no-op on in-process transports.
+func (m *Machine) SyncCounters() {
+	if cs, ok := m.t.(counterSyncer); ok {
+		cs.SyncCounters()
+	}
+}
 
 // Network returns the machine's α-β-γ parameters and true when it runs
 // on a timed transport.

@@ -1,0 +1,66 @@
+package machine
+
+import "time"
+
+// Mailbox is one rank's keyed message store — the (src, tag)-matched
+// FIFO delivery discipline all in-process transports are built on,
+// exported so out-of-process backends (internal/machine/wire) can feed
+// their demultiplexed frames into identical matching semantics instead
+// of reinventing them. A Mailbox is safe for concurrent use: any
+// goroutine may Post, and receivers block in Take until a matching
+// message arrives.
+type Mailbox struct {
+	po      *postOffice
+	timeout time.Duration
+}
+
+// NewMailbox returns an empty, open mailbox.
+func NewMailbox() *Mailbox { return &Mailbox{po: newPostOffice()} }
+
+// SetTimeout bounds every blocking Take: a receiver parked longer than
+// d unwinds with the machine's deadline panic (reported by Run as the
+// root cause), so a lost sender cannot park it forever. Zero disables
+// the bound. Set it before receivers start blocking.
+func (mb *Mailbox) SetTimeout(d time.Duration) { mb.timeout = d }
+
+// Post delivers a payload from src under tag. The mailbox takes
+// ownership of data; callers that still need the buffer must copy it
+// first.
+func (mb *Mailbox) Post(src, tag int, data []float64) {
+	mb.po.post(mailKey{src: src, tag: tag}, envelope{data: data})
+}
+
+// Take blocks until a message matched on (src, tag) arrives and
+// returns its payload in send order. If the mailbox is interrupted,
+// Take drains what already arrived and then panics with the machine's
+// cancellation sentinel (recovered by the machine's rank wrapper); if
+// a SetTimeout deadline expires first it panics with the deadline
+// sentinel instead.
+func (mb *Mailbox) Take(src, tag int) []float64 {
+	return mb.po.take(mailKey{src: src, tag: tag}, mb.timeout).data
+}
+
+// TryTake pops a pending (src, tag) message without blocking,
+// reporting false when none has arrived. An interrupted mailbox with
+// nothing left to drain panics like Take.
+func (mb *Mailbox) TryTake(src, tag int) ([]float64, bool) {
+	e, ok := mb.po.tryTake(mailKey{src: src, tag: tag})
+	return e.data, ok
+}
+
+// Interrupt closes the mailbox and wakes all parked receivers, which
+// drain any delivered messages and then unwind with the cancellation
+// panic. Reset reopens it.
+func (mb *Mailbox) Interrupt() { mb.po.interrupt() }
+
+// Reset drops every undelivered message and reopens the mailbox for
+// the next run; the queues themselves are retained, so steady-state
+// delivery allocates nothing.
+func (mb *Mailbox) Reset() { mb.po.reset() }
+
+// InterruptPanic returns the sentinel value a transport backend panics
+// with when a blocked operation is torn down by Interrupt; the
+// machine's rank wrapper recovers it as collateral of the real
+// failure. Out-of-process transports raise it from code paths (like a
+// distributed barrier wait) that block outside a Mailbox.
+func InterruptPanic() any { return interruptedPanic{} }

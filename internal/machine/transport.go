@@ -1,6 +1,9 @@
 package machine
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Transport is the wire beneath a Machine: it delivers tagged payloads
 // between ranks and accounts for their cost. Two backends exist — the
@@ -49,6 +52,12 @@ type Transport interface {
 	// Run terminates instead of deadlocking on a half-finished
 	// schedule. Reset re-arms the transport for the next Run.
 	Interrupt()
+	// SetRecvTimeout bounds every blocking receive (Recv and
+	// Request.Wait): a rank parked longer than d unwinds with a
+	// deadline panic that the machine reports as the run's root cause,
+	// so a lost peer cannot park a rank forever. Zero (the default)
+	// disables the bound.
+	SetRecvTimeout(d time.Duration)
 	// Reset clears counters and clocks at the start of a Run.
 	Reset()
 	// Counters returns rank's accumulated traffic.
@@ -136,6 +145,98 @@ func (po *postOffice) slot(k mailKey) *mailQueue {
 	return q
 }
 
+// post delivers a message under key k.
+func (po *postOffice) post(k mailKey, e envelope) {
+	po.mu.Lock()
+	po.slot(k).push(e)
+	po.mu.Unlock()
+}
+
+// take blocks until a message under k arrives, the office is
+// interrupted (drain what already arrived, then raise the cancellation
+// panic) or, with timeout > 0, the deadline expires (raise the timeout
+// panic). This one method is the blocking-receive discipline of every
+// transport backend — counting, timed and wire.
+func (po *postOffice) take(k mailKey, timeout time.Duration) envelope {
+	po.mu.Lock()
+	q := po.slot(k)
+	if timeout <= 0 {
+		for q.empty() && !po.closed {
+			q.cond.Wait()
+		}
+	} else {
+		deadline := time.Now().Add(timeout)
+		// The timer only wakes the cond; the waiter itself decides
+		// whether the deadline truly passed (a push may race the fire).
+		timer := time.AfterFunc(timeout, func() {
+			po.mu.Lock()
+			q.cond.Broadcast()
+			po.mu.Unlock()
+		})
+		expired := false
+		for q.empty() && !po.closed && !expired {
+			q.cond.Wait()
+			expired = q.empty() && !po.closed && !time.Now().Before(deadline)
+		}
+		timer.Stop()
+		if expired {
+			po.mu.Unlock()
+			panic(timeoutPanic{key: k, timeout: timeout})
+		}
+	}
+	if q.empty() {
+		po.mu.Unlock()
+		panic(interruptedPanic{})
+	}
+	e := q.pop()
+	po.mu.Unlock()
+	return e
+}
+
+// tryTake pops a pending message under k if one has arrived. An
+// interrupted office with nothing left to drain raises the
+// cancellation panic, like take.
+func (po *postOffice) tryTake(k mailKey) (envelope, bool) {
+	po.mu.Lock()
+	q := po.slot(k)
+	if q.empty() {
+		closed := po.closed
+		po.mu.Unlock()
+		if closed {
+			panic(interruptedPanic{})
+		}
+		return envelope{}, false
+	}
+	e := q.pop()
+	po.mu.Unlock()
+	return e, true
+}
+
+// interrupt closes the office and wakes all parked receivers.
+func (po *postOffice) interrupt() {
+	po.mu.Lock()
+	po.closed = true
+	for _, q := range po.slots {
+		q.cond.Broadcast()
+	}
+	po.mu.Unlock()
+}
+
+// reset drains every mailbox and clears interruption, retaining the
+// queues (and their condition variables) for allocation-free reuse.
+func (po *postOffice) reset() {
+	po.mu.Lock()
+	for _, q := range po.slots {
+		for i := range q.msgs {
+			q.msgs[i] = envelope{} // release stale payload references
+		}
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	po.closed = false
+	po.mu.Unlock()
+}
+
 // counting is the exact-accounting transport: it moves payloads through
 // keyed mailboxes and counts per-rank words, messages and flops. With
 // pooled set, internal copies are drawn from the shared buffer pool.
@@ -144,6 +245,9 @@ type counting struct {
 	office []*postOffice
 	count  []Counters
 	pooled bool
+	// recvTimeout bounds blocking takes; zero disables. Written by
+	// SetRecvTimeout before a Run starts, read by rank goroutines.
+	recvTimeout time.Duration
 }
 
 func newCounting(p int, pooled bool) *counting {
@@ -180,31 +284,27 @@ func (t *counting) post(src, dst, tag int, data []float64, owned bool, at float6
 		t.count[src].SentWords += int64(len(data))
 		t.count[src].SentMsgs++
 	}
-	po := t.office[dst]
-	po.mu.Lock()
-	po.slot(mailKey{src: src, tag: tag}).push(envelope{data: data, at: at})
-	po.mu.Unlock()
+	t.office[dst].post(mailKey{src: src, tag: tag}, envelope{data: data, at: at})
 }
 
 // interruptedPanic is the sentinel a blocked Recv raises when the Run's
 // context is cancelled; the machine's rank wrapper recovers it.
 type interruptedPanic struct{}
 
+// timeoutPanic is the sentinel a blocked Recv raises when its
+// SetRecvTimeout deadline expires before a matching message arrives —
+// the lost-peer escape hatch. The machine's rank wrapper recovers it
+// and reports it as the run's root cause.
+type timeoutPanic struct {
+	key     mailKey
+	timeout time.Duration
+}
+
 // take blocks until a message under (src, tag) arrives at dst, or the
-// office is interrupted by a cancelled Run.
+// office is interrupted by a cancelled Run, or the recv timeout (if
+// set) expires.
 func (t *counting) take(dst, src, tag int) envelope {
-	po := t.office[dst]
-	po.mu.Lock()
-	q := po.slot(mailKey{src: src, tag: tag})
-	for q.empty() && !po.closed {
-		q.cond.Wait()
-	}
-	if q.empty() {
-		po.mu.Unlock()
-		panic(interruptedPanic{})
-	}
-	e := q.pop()
-	po.mu.Unlock()
+	e := t.office[dst].take(mailKey{src: src, tag: tag}, t.recvTimeout)
 	if src != dst {
 		t.count[dst].RecvWords += int64(len(e.data))
 		t.count[dst].RecvMsgs++
@@ -217,25 +317,19 @@ func (t *counting) take(dst, src, tag int) envelope {
 // otherwise. Like take, an interrupted office with nothing left to
 // drain unwinds the rank with the cancellation panic.
 func (t *counting) tryTake(dst, src, tag int) (envelope, bool) {
-	po := t.office[dst]
-	po.mu.Lock()
-	q := po.slot(mailKey{src: src, tag: tag})
-	if q.empty() {
-		closed := po.closed
-		po.mu.Unlock()
-		if closed {
-			panic(interruptedPanic{})
-		}
+	e, ok := t.office[dst].tryTake(mailKey{src: src, tag: tag})
+	if !ok {
 		return envelope{}, false
 	}
-	e := q.pop()
-	po.mu.Unlock()
 	if src != dst {
 		t.count[dst].RecvWords += int64(len(e.data))
 		t.count[dst].RecvMsgs++
 	}
 	return e, true
 }
+
+// SetRecvTimeout implements Transport.
+func (t *counting) SetRecvTimeout(d time.Duration) { t.recvTimeout = d }
 
 // Send implements Transport.
 func (t *counting) Send(src, dst, tag int, data []float64, owned bool) {
@@ -278,12 +372,7 @@ func (t *counting) BarrierSync() {}
 // all parked receivers so they can bail out of a cancelled Run.
 func (t *counting) Interrupt() {
 	for _, po := range t.office {
-		po.mu.Lock()
-		po.closed = true
-		for _, q := range po.slots {
-			q.cond.Broadcast()
-		}
-		po.mu.Unlock()
+		po.interrupt()
 	}
 }
 
@@ -298,16 +387,7 @@ func (t *counting) Reset() {
 		t.count[i] = Counters{}
 	}
 	for _, po := range t.office {
-		po.mu.Lock()
-		for _, q := range po.slots {
-			for i := range q.msgs {
-				q.msgs[i] = envelope{} // release stale payload references
-			}
-			q.msgs = q.msgs[:0]
-			q.head = 0
-		}
-		po.closed = false
-		po.mu.Unlock()
+		po.reset()
 	}
 }
 

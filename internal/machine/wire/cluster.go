@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bootstrap environment: a launcher exports these and each process
+// calls FromEnv to join the machine — the handshake behind
+// `cmd/cosma -transport wire` and the multi-process tests.
+const (
+	// EnvRank names the joining process's rank (any rank it hosts).
+	EnvRank = "WIRE_RANK"
+	// EnvPeers is the comma-separated address of every rank.
+	EnvPeers = "WIRE_PEERS"
+)
+
+// FromEnv reads the WIRE_RANK/WIRE_PEERS bootstrap handshake. ok is
+// false when the environment carries no wire configuration at all
+// (this process is a launcher, not a joiner).
+func FromEnv() (cfg Config, ok bool, err error) {
+	rankEnv := os.Getenv(EnvRank)
+	peersEnv := os.Getenv(EnvPeers)
+	if rankEnv == "" && peersEnv == "" {
+		return Config{}, false, nil
+	}
+	if rankEnv == "" || peersEnv == "" {
+		return Config{}, false, fmt.Errorf("wire: %s and %s must be set together", EnvRank, EnvPeers)
+	}
+	rank, err := strconv.Atoi(rankEnv)
+	if err != nil {
+		return Config{}, false, fmt.Errorf("wire: bad %s %q: %w", EnvRank, rankEnv, err)
+	}
+	peers := strings.Split(peersEnv, ",")
+	if rank < 0 || rank >= len(peers) {
+		return Config{}, false, fmt.Errorf("wire: %s = %d outside the %d-rank peer list", EnvRank, rank, len(peers))
+	}
+	return Config{Rank: rank, Peers: peers}, true, nil
+}
+
+// Env returns the bootstrap environment entries (to append to
+// os.Environ) that make a spawned process join as rank over peers.
+func Env(rank int, peers []string) []string {
+	return []string{
+		EnvRank + "=" + strconv.Itoa(rank),
+		EnvPeers + "=" + strings.Join(peers, ","),
+	}
+}
+
+// SocketAddrs returns one-rank-per-process Unix socket addresses for a
+// p-rank machine, with the sockets under dir — the localhost cluster
+// layout the tests and the cmd/cosma launcher use.
+func SocketAddrs(dir string, p int) []string {
+	addrs := make([]string, p)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("unix://%s/rank-%d.sock", dir, i)
+	}
+	return addrs
+}
+
+// TCPAddrs returns one-rank-per-process TCP addresses on host with
+// consecutive ports starting at base.
+func TCPAddrs(host string, base, p int) []string {
+	addrs := make([]string, p)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("tcp://%s:%d", host, base+i)
+	}
+	return addrs
+}
+
+// splitAddr maps an address string onto a net network/target pair:
+// "unix://path", "tcp://host:port", or a bare "host:port" (TCP).
+func splitAddr(addr string) (network, target string) {
+	switch {
+	case strings.HasPrefix(addr, "unix://"):
+		return "unix", strings.TrimPrefix(addr, "unix://")
+	case strings.HasPrefix(addr, "tcp://"):
+		return "tcp", strings.TrimPrefix(addr, "tcp://")
+	default:
+		return "tcp", addr
+	}
+}
+
+func listen(network, target string) (net.Listener, error) {
+	if network == "unix" {
+		// A previous process of the same rank may have left its socket
+		// file behind; a stale path would fail the bind.
+		os.Remove(target)
+	}
+	return net.Listen(network, target)
+}
+
+// dialRetry dials addr until it answers or timeout elapses — peer
+// processes of a launch start in arbitrary order, so early connection
+// refusals are expected.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	network, target := splitAddr(addr)
+	deadline := time.Now().Add(timeout)
+	for {
+		attempt := 250 * time.Millisecond
+		if rest := time.Until(deadline); rest < attempt {
+			attempt = rest
+		}
+		if attempt <= 0 {
+			return nil, fmt.Errorf("no answer within %v", timeout)
+		}
+		conn, err := net.DialTimeout(network, target, attempt)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,33 @@
+// Package wire is the out-of-process machine.Transport: each rank (or
+// group of ranks) is a separate OS process, connected over TCP or Unix
+// sockets, exchanging length-prefixed binary frames. It is the backend
+// that turns the simulated COSMA machine into a genuinely distributed
+// one while keeping rank programs — and their results — bit-for-bit
+// identical to the in-process counting and timed backends.
+//
+// # Topology
+//
+// A machine of p ranks is described by one address per rank
+// (Config.Peers); ranks that share an address are hosted by the same
+// process. Processes form a full mesh with exactly one connection per
+// process pair: process i dials every process j < i (announcing itself
+// with a HELLO frame) and accepts from every j > i. Each connection
+// carries a writer goroutine draining a bounded frame queue and a
+// reader goroutine demultiplexing inbound frames into the destination
+// rank's (src, tag)-keyed mailbox — the same delivery discipline the
+// in-process transports use, which is what keeps the semantics (FIFO
+// per key, eager sends, blocking receives) identical over the wire.
+//
+// # Control plane
+//
+// Barriers use a coordinator protocol: when all of a process's local
+// ranks have arrived, the process sends ENTER to the coordinator (the
+// process hosting rank 0), which responds RELEASE once every process
+// has entered. Keys carry the run epoch and barrier round, so frames
+// from an aborted run cannot satisfy a later barrier. Cancellation and
+// rank failure broadcast ABORT, waking every process's parked
+// receivers; a dead connection is a sticky failure that poisons
+// subsequent runs on this transport. CTRL frames carry the post-run
+// counter merge (Machine.SyncCounters) so the coordinator can report
+// machine-wide communication volumes.
+package wire

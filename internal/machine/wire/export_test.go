@@ -1,0 +1,12 @@
+package wire
+
+// Kill closes every peer connection without the goodbye handshake,
+// simulating a crashed process: survivors must see a lost connection,
+// not a clean departure. Test-only.
+func (t *Transport) Kill() {
+	for _, pr := range t.peers {
+		if pr != nil {
+			pr.conn.Close()
+		}
+	}
+}

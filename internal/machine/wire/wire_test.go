@@ -1,0 +1,222 @@
+package wire_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cosma/internal/machine"
+	"cosma/internal/machine/conformance"
+	"cosma/internal/machine/wire"
+)
+
+// TestConformanceLoopback runs the shared transport suite against the
+// wire backend with all ranks hosted in one process (no sockets).
+func TestConformanceLoopback(t *testing.T) {
+	conformance.Run(t, func(t *testing.T, p int) *conformance.Cluster {
+		tr := wire.NewLoopback(p)
+		return &conformance.Cluster{
+			Machines: []*machine.Machine{machine.NewWithTransport(tr)},
+			Cleanup:  func() { tr.Close() },
+		}
+	})
+}
+
+// TestConformanceUnixSockets runs the suite against a genuine socket
+// mesh: p transports, one rank each, connected over Unix sockets —
+// every byte of every message crosses a real connection.
+func TestConformanceUnixSockets(t *testing.T) {
+	conformance.Run(t, func(t *testing.T, p int) *conformance.Cluster {
+		trs := bringUp(t, wire.SocketAddrs(t.TempDir(), p))
+		machines := make([]*machine.Machine, p)
+		for i, tr := range trs {
+			machines[i] = machine.NewWithTransport(tr)
+		}
+		return &conformance.Cluster{Machines: machines, Cleanup: func() { closeAll(trs) }}
+	})
+}
+
+// TestTCPRing exercises the TCP address scheme with a small ring
+// exchange across three single-rank processes on localhost.
+func TestTCPRing(t *testing.T) {
+	const p = 3
+	addrs := make([]string, p)
+	for i, port := range freePorts(t, p) {
+		addrs[i] = fmt.Sprintf("tcp://127.0.0.1:%d", port)
+	}
+	trs := bringUp(t, addrs)
+	defer closeAll(trs)
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, m *machine.Machine) {
+			defer wg.Done()
+			errs[i] = m.Run(func(r *machine.Rank) error {
+				dst, src := (r.ID()+1)%r.P(), (r.ID()+r.P()-1)%r.P()
+				r.Send(dst, 1, []float64{float64(r.ID()), 3.5})
+				got := r.Recv(src, 1)
+				if len(got) != 2 || got[0] != float64(src) || got[1] != 3.5 {
+					return fmt.Errorf("rank %d: got %v from %d", r.ID(), got, src)
+				}
+				return nil
+			})
+		}(i, machine.NewWithTransport(tr))
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", i, err)
+		}
+	}
+}
+
+// TestLostPeerFailsRun kills one side of a two-process machine mid
+// round and asserts the survivor's run fails promptly with the
+// connection loss as root cause — and that the transport stays
+// poisoned, so the next run fails fast instead of hanging.
+func TestLostPeerFailsRun(t *testing.T) {
+	trs := bringUp(t, wire.SocketAddrs(t.TempDir(), 2))
+	defer closeAll(trs)
+	m := machine.NewWithTransport(trs[0])
+	m.SetRecvTimeout(10 * time.Second) // backstop only; the conn loss must fire first
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		trs[1].Kill() // the peer process dies without a word
+	}()
+	start := time.Now()
+	err := m.Run(func(r *machine.Rank) error {
+		got := r.Recv(1, 99) // never satisfied
+		return fmt.Errorf("receive from the dead peer returned %v", got)
+	})
+	if err == nil {
+		t.Fatal("run survived a dead peer")
+	}
+	if !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("error does not name the connection loss: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failure took %v, the recv-timeout backstop instead of the conn-loss path", elapsed)
+	}
+
+	// Sticky poisoning: a later run on the broken transport fails fast.
+	start = time.Now()
+	err = m.Run(func(r *machine.Rank) error {
+		r.Recv(1, 100)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("run on a broken transport succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("poisoned run took %v, want fail-fast", elapsed)
+	}
+}
+
+// TestCleanDepartureDoesNotAbort is the other half of the lost-peer
+// contract: a peer that finished its run and Closed (goodbye frame,
+// then EOF) must not abort a slower process still mid-run — and the
+// frames it sent before departing must still be delivered.
+func TestCleanDepartureDoesNotAbort(t *testing.T) {
+	trs := bringUp(t, wire.SocketAddrs(t.TempDir(), 2))
+	defer closeAll(trs)
+	m := machine.NewWithTransport(trs[0])
+	m.SetRecvTimeout(10 * time.Second)
+
+	m1 := machine.NewWithTransport(trs[1])
+	done := make(chan error, 1)
+	go func() {
+		err := m1.Run(func(r *machine.Rank) error {
+			if r.ID() == 1 {
+				r.Send(0, 7, []float64{42})
+			}
+			return nil
+		})
+		trs[1].Close() // fast process exits while the peer still works
+		done <- err
+	}()
+
+	err := m.Run(func(r *machine.Rank) error {
+		time.Sleep(300 * time.Millisecond) // outlive the peer's Close
+		if got := r.Recv(1, 7); len(got) != 1 || got[0] != 42 {
+			return fmt.Errorf("rank 0: got %v, want [42]", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("survivor's run failed after a clean departure: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("departing process's run failed: %v", err)
+	}
+}
+
+// TestRecvDeadlineWithSilentPeer covers the lost-peer case the conn
+// layer cannot see: the peer process is alive (connection healthy) but
+// never sends. The receive deadline must unpark the rank.
+func TestRecvDeadlineWithSilentPeer(t *testing.T) {
+	trs := bringUp(t, wire.SocketAddrs(t.TempDir(), 2))
+	defer closeAll(trs)
+	m := machine.NewWithTransport(trs[0])
+	m.SetRecvTimeout(100 * time.Millisecond)
+	err := m.Run(func(r *machine.Rank) error {
+		r.Recv(1, 99)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("got %v, want a receive-deadline failure", err)
+	}
+}
+
+// bringUp connects one single-rank transport per address concurrently
+// (processes of a real launch start in arbitrary order) and fails the
+// test if any cannot join.
+func bringUp(t *testing.T, addrs []string) []*wire.Transport {
+	t.Helper()
+	trs := make([]*wire.Transport, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i := range addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trs[i], errs[i] = wire.New(wire.Config{Rank: i, Peers: addrs, DialTimeout: 10 * time.Second})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("bring-up of process %d: %v", i, err)
+		}
+	}
+	return trs
+}
+
+func closeAll(trs []*wire.Transport) {
+	for _, tr := range trs {
+		if tr != nil {
+			tr.Close()
+		}
+	}
+}
+
+// freePorts reserves n distinct localhost TCP ports by binding and
+// releasing them; the tiny reuse race is acceptable in tests.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+		ln.Close()
+	}
+	return ports
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"cosma"
+)
+
+// MultiplyRequest is the JSON body of POST /v1/multiply: row-major
+// float64 payloads for A (m×k) and B (k×n).
+type MultiplyRequest struct {
+	M int       `json:"m"`
+	N int       `json:"n"`
+	K int       `json:"k"`
+	A []float64 `json:"a"`
+	B []float64 `json:"b"`
+}
+
+// MultiplyResponse is the JSON answer: the row-major m×n product plus
+// the execution report's headline numbers.
+type MultiplyResponse struct {
+	M         int       `json:"m"`
+	N         int       `json:"n"`
+	C         []float64 `json:"c"`
+	Algorithm string    `json:"algorithm"`
+	Grid      string    `json:"grid"`
+	MaxRecv   int64     `json:"max_recv_words"`
+}
+
+// errorResponse is the JSON body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/multiply — multiply one pair (MultiplyRequest → MultiplyResponse);
+//	                    429 when shedding, 503 while draining, 400 on bad input
+//	GET  /v1/stats    — the Stats snapshot as JSON
+//	GET  /healthz     — 200 "ok" while accepting, 503 while draining
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/multiply", func(w http.ResponseWriter, r *http.Request) {
+		var req MultiplyRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, s.reject(fmt.Errorf("decoding request: %w", err)))
+			return
+		}
+		a, b, err := req.matrices()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, s.reject(err))
+			return
+		}
+		c, rep, err := s.Multiply(r.Context(), a, b)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, MultiplyResponse{
+			M: c.Rows, N: c.Cols, C: c.Data,
+			Algorithm: rep.Name, Grid: rep.Grid, MaxRecv: rep.MaxRecv,
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Stats().Draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (req *MultiplyRequest) matrices() (a, b *cosma.Matrix, err error) {
+	if req.M < 1 || req.N < 1 || req.K < 1 {
+		return nil, nil, fmt.Errorf("serve: invalid dimensions %d×%d×%d", req.M, req.N, req.K)
+	}
+	if len(req.A) != req.M*req.K {
+		return nil, nil, fmt.Errorf("serve: A has %d words, want m·k = %d", len(req.A), req.M*req.K)
+	}
+	if len(req.B) != req.K*req.N {
+		return nil, nil, fmt.Errorf("serve: B has %d words, want k·n = %d", len(req.B), req.K*req.N)
+	}
+	return cosma.MatrixFromSlice(req.M, req.K, req.A), cosma.MatrixFromSlice(req.K, req.N, req.B), nil
+}
+
+// statusFor maps service errors onto HTTP statuses: shedding is 429
+// (retryable now), draining is 503 (retry another replica), anything
+// else about the request itself is 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,329 @@
+// Package serve is the batching, backpressured serving front-end
+// behind cmd/cosmad: a long-lived multiplication service wrapping the
+// cosma Engine.
+//
+// Requests are admitted against a bounded global queue (beyond it they
+// are shed immediately — the HTTP layer maps that to 429), coalesced
+// per shape for a short window, and executed as one
+// Engine.MultiplyBatch per bucket, so every request after a shape's
+// first rides a cached plan and a pooled executor. Engines are sharded
+// by shape hash: each shard owns its plan cache and executor pools, so
+// a hot mixed workload never serializes behind one plan-cache mutex.
+// Drain stops admission and waits for the queue to empty — the
+// graceful-shutdown half of cosmad's SIGTERM handling.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cosma"
+)
+
+// ErrOverloaded is returned (and mapped to HTTP 429) when the bounded
+// admission queue is full: shedding at the door keeps latency bounded
+// for the requests already admitted.
+var ErrOverloaded = errors.New("serve: overloaded — admission queue full")
+
+// ErrDraining is returned for requests arriving after Drain began.
+var ErrDraining = errors.New("serve: draining — not accepting new requests")
+
+// Options configure a Server. The zero value is usable.
+type Options struct {
+	// Engine options applied to every shard (procs, memory, algorithm,
+	// autotune, ...).
+	Engine []cosma.Option
+	// Shards is the number of engines requests are sharded over by
+	// shape hash; 0 means 4. Each shard has its own plan cache and
+	// executor pools.
+	Shards int
+	// QueueLimit bounds admitted-but-unfinished requests; beyond it
+	// Multiply sheds with ErrOverloaded. 0 means 256.
+	QueueLimit int
+	// BatchWindow is how long a shape bucket collects requests before
+	// flushing them as one MultiplyBatch; 0 means 2ms.
+	BatchWindow time.Duration
+	// MaxBatch bounds the pairs per MultiplyBatch call; 0 means 32.
+	MaxBatch int
+	// MaxDim bounds each of m, n, k at admission; 0 means 8192. A
+	// request beyond it is rejected (the HTTP layer maps that to 400),
+	// which keeps one oversized multiplication from starving the mix.
+	MaxDim int
+}
+
+func (o Options) shards() int {
+	if o.Shards < 1 {
+		return 4
+	}
+	return o.Shards
+}
+
+func (o Options) queueLimit() int {
+	if o.QueueLimit < 1 {
+		return 256
+	}
+	return o.QueueLimit
+}
+
+func (o Options) batchWindow() time.Duration {
+	if o.BatchWindow <= 0 {
+		return 2 * time.Millisecond
+	}
+	return o.BatchWindow
+}
+
+func (o Options) maxBatch() int {
+	if o.MaxBatch < 1 {
+		return 32
+	}
+	return o.MaxBatch
+}
+
+func (o Options) maxDim() int {
+	if o.MaxDim < 1 {
+		return 8192
+	}
+	return o.MaxDim
+}
+
+// Server is the coalescing multiplication service. Create one with
+// New, serve requests through Multiply (or the HTTP handler), and
+// shut down with Drain.
+type Server struct {
+	opts    Options
+	engines []*cosma.Engine
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when queued drops or drain starts
+	buckets  map[shapeKey]*bucket
+	queued   int // admitted, not yet answered
+	draining bool
+	stats    Stats
+}
+
+type shapeKey struct{ m, n, k int }
+
+// bucket collects same-shape requests between flushes. pending and
+// flushing are guarded by Server.mu; the flusher goroutine owns the
+// batch it took out.
+type bucket struct {
+	key      shapeKey
+	pending  []*request
+	flushing bool
+}
+
+type request struct {
+	a, b *cosma.Matrix
+	done chan result
+}
+
+type result struct {
+	c   *cosma.Matrix
+	rep *cosma.Report
+	err error
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Requests   int64 `json:"requests"`  // admitted requests
+	Shed       int64 `json:"shed"`      // rejected with ErrOverloaded
+	Rejected   int64 `json:"rejected"`  // invalid or oversized requests
+	Batches    int64 `json:"batches"`   // MultiplyBatch calls issued
+	Batched    int64 `json:"batched"`   // pairs across all batches
+	MaxBatch   int   `json:"max_batch"` // largest batch executed
+	Queued     int   `json:"queued"`    // currently admitted, unanswered
+	Draining   bool  `json:"draining"`
+	PlanHits   int64 `json:"plan_hits"`   // summed over shards
+	PlanMisses int64 `json:"plan_misses"` // summed over shards
+}
+
+// New builds a server: the engine shards are constructed eagerly so a
+// misconfiguration surfaces here, not on the first request.
+func New(opts Options) (*Server, error) {
+	s := &Server{opts: opts, buckets: make(map[shapeKey]*bucket)}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < opts.shards(); i++ {
+		eng, err := cosma.NewEngine(opts.Engine...)
+		if err != nil {
+			return nil, err
+		}
+		s.engines = append(s.engines, eng)
+	}
+	return s, nil
+}
+
+// Engines returns the number of engine shards.
+func (s *Server) Engines() int { return len(s.engines) }
+
+func (k shapeKey) shard(n int) int {
+	// FNV-1a over the three dims: cheap, stable, spreads the small
+	// serving mixes evenly.
+	h := uint64(14695981039346656037)
+	for _, d := range [3]int{k.m, k.n, k.k} {
+		h = (h ^ uint64(d)) * 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// Multiply answers one request: admit (or shed), join the shape's
+// batch bucket, and wait for the bucket flush that carries it. The
+// context covers only the caller's wait — an abandoned request's slot
+// is still executed and released by its batch.
+func (s *Server) Multiply(ctx context.Context, a, b *cosma.Matrix) (*cosma.Matrix, *cosma.Report, error) {
+	if a == nil || b == nil {
+		return nil, nil, s.reject(fmt.Errorf("serve: nil matrix"))
+	}
+	if a.Cols != b.Rows {
+		return nil, nil, s.reject(fmt.Errorf("serve: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	key := shapeKey{m: a.Rows, n: b.Cols, k: a.Cols}
+	if max := s.opts.maxDim(); key.m < 1 || key.n < 1 || key.k < 1 || key.m > max || key.n > max || key.k > max {
+		return nil, nil, s.reject(fmt.Errorf("serve: dimensions %d×%d×%d outside [1, %d]", key.m, key.n, key.k, s.opts.maxDim()))
+	}
+
+	req := &request{a: a, b: b, done: make(chan result, 1)}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, nil, ErrDraining
+	}
+	if s.queued >= s.opts.queueLimit() {
+		s.stats.Shed++
+		s.mu.Unlock()
+		return nil, nil, ErrOverloaded
+	}
+	s.queued++
+	s.stats.Requests++
+	bk := s.buckets[key]
+	if bk == nil {
+		bk = &bucket{key: key}
+		s.buckets[key] = bk
+	}
+	bk.pending = append(bk.pending, req)
+	if !bk.flushing {
+		bk.flushing = true
+		go s.flushLoop(bk)
+	}
+	s.mu.Unlock()
+
+	select {
+	case res := <-req.done:
+		return res.c, res.rep, res.err
+	case <-ctx.Done():
+		// The batch still runs the pair; its result is dropped into the
+		// buffered channel and garbage-collected.
+		return nil, nil, ctx.Err()
+	}
+}
+
+func (s *Server) reject(err error) error {
+	s.mu.Lock()
+	s.stats.Rejected++
+	s.mu.Unlock()
+	return err
+}
+
+// flushLoop drains one bucket: wait out the coalescing window, take up
+// to MaxBatch pending requests, execute them as one batch, repeat
+// until the bucket is empty. A full bucket skips the next window so a
+// hot shape is bounded by execution speed, not the timer.
+func (s *Server) flushLoop(bk *bucket) {
+	for {
+		s.mu.Lock()
+		full := len(bk.pending) >= s.opts.maxBatch()
+		s.mu.Unlock()
+		if !full {
+			time.Sleep(s.opts.batchWindow())
+		}
+
+		s.mu.Lock()
+		batch := bk.pending
+		if len(batch) == 0 {
+			bk.flushing = false
+			s.mu.Unlock()
+			return
+		}
+		if max := s.opts.maxBatch(); len(batch) > max {
+			bk.pending = batch[max:]
+			batch = batch[:max]
+		} else {
+			bk.pending = nil
+		}
+		s.stats.Batches++
+		s.stats.Batched += int64(len(batch))
+		if len(batch) > s.stats.MaxBatch {
+			s.stats.MaxBatch = len(batch)
+		}
+		s.mu.Unlock()
+
+		s.execute(bk.key, batch)
+	}
+}
+
+// execute runs one batch on the shape's engine shard and fans the
+// results back out. The batch context is the server's, not any one
+// caller's: a single abandoned request must not cancel its batchmates.
+func (s *Server) execute(key shapeKey, batch []*request) {
+	pairs := make([]cosma.Pair, len(batch))
+	for i, req := range batch {
+		pairs[i] = cosma.Pair{A: req.a, B: req.b}
+	}
+	eng := s.engines[key.shard(len(s.engines))]
+	outs, reps, err := eng.MultiplyBatch(context.Background(), pairs)
+	for i, req := range batch {
+		res := result{err: err}
+		if i < len(outs) && outs[i] != nil {
+			res = result{c: outs[i], rep: reps[i]}
+		}
+		req.done <- res
+	}
+	s.mu.Lock()
+	s.queued -= len(batch)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Stats returns a snapshot of the server's counters, including the
+// plan-cache totals summed over the engine shards.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	st.Queued = s.queued
+	st.Draining = s.draining
+	s.mu.Unlock()
+	for _, eng := range s.engines {
+		cs := eng.CacheStats()
+		st.PlanHits += cs.Hits
+		st.PlanMisses += cs.Misses
+	}
+	return st
+}
+
+// Drain stops admission (new requests get ErrDraining) and waits until
+// every admitted request has been answered or ctx expires, returning
+// ctx.Err() in the latter case with the stragglers still running.
+// Idempotent; concurrent calls all wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+
+	// A deadline watcher breaks the cond wait — sync.Cond has no
+	// context support of its own.
+	stop := context.AfterFunc(ctx, s.cond.Broadcast)
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.queued > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.cond.Wait()
+	}
+	return nil
+}

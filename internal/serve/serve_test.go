@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cosma"
+)
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Engine == nil {
+		opts.Engine = []cosma.Option{cosma.WithProcs(4), cosma.WithMemory(1 << 14)}
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// reference multiplies on a directly-built engine with the test
+// server's options: the schedule is deterministic, so the server's
+// answer must be bitwise-identical.
+func reference(t *testing.T, a, b *cosma.Matrix) *cosma.Matrix {
+	t.Helper()
+	eng, err := cosma.NewEngine(cosma.WithProcs(4), cosma.WithMemory(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := eng.Exec(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMultiplyCorrectAndBatched(t *testing.T) {
+	s := newTestServer(t, Options{BatchWindow: 5 * time.Millisecond})
+	ctx := context.Background()
+
+	// Fire a burst of same-shape requests concurrently so the window
+	// coalesces them.
+	const reqs = 12
+	as := make([]*cosma.Matrix, reqs)
+	bs := make([]*cosma.Matrix, reqs)
+	wants := make([]*cosma.Matrix, reqs)
+	for i := range as {
+		as[i] = cosma.RandomMatrix(48, 32, int64(i+1))
+		bs[i] = cosma.RandomMatrix(32, 24, int64(i+100))
+		wants[i] = reference(t, as[i], bs[i])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, reqs)
+	for i := 0; i < reqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, rep, err := s.Multiply(ctx, as[i], bs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if rep == nil {
+				errs[i] = errors.New("nil report")
+				return
+			}
+			for j := range wants[i].Data {
+				if c.Data[j] != wants[i].Data[j] {
+					errs[i] = fmt.Errorf("word %d: got %v want %v", j, c.Data[j], wants[i].Data[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	st := s.Stats()
+	if st.Requests != reqs {
+		t.Fatalf("requests = %d, want %d", st.Requests, reqs)
+	}
+	if st.Batches >= reqs {
+		t.Fatalf("no coalescing: %d batches for %d requests", st.Batches, reqs)
+	}
+	if st.Batched != reqs {
+		t.Fatalf("batched pairs = %d, want %d", st.Batched, reqs)
+	}
+	if st.Queued != 0 {
+		t.Fatalf("queued = %d after all requests answered", st.Queued)
+	}
+}
+
+func TestShedsBeyondQueueLimit(t *testing.T) {
+	s := newTestServer(t, Options{QueueLimit: 2, BatchWindow: 50 * time.Millisecond})
+	ctx := context.Background()
+	a := cosma.RandomMatrix(16, 16, 1)
+	b := cosma.RandomMatrix(16, 16, 2)
+
+	// Two requests fill the queue; they sit in the coalescing window
+	// long enough for the third to arrive and be shed.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Multiply(ctx, a, b); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		q := s.queued
+		s.mu.Unlock()
+		if q == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := s.Multiply(ctx, a, b); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v, want ErrOverloaded", err)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", st.Shed)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := newTestServer(t, Options{BatchWindow: 20 * time.Millisecond})
+	ctx := context.Background()
+	a := cosma.RandomMatrix(32, 32, 1)
+	b := cosma.RandomMatrix(32, 32, 2)
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.Multiply(ctx, a, b)
+		done <- err
+	}()
+	// Wait for admission so Drain has something in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		q := s.queued
+		s.mu.Unlock()
+		if q > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drainCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if _, _, err := s.Multiply(ctx, a, b); !errors.Is(err, ErrDraining) {
+		t.Fatalf("got %v, want ErrDraining", err)
+	}
+}
+
+func TestRejectsOversized(t *testing.T) {
+	s := newTestServer(t, Options{MaxDim: 64})
+	a := cosma.RandomMatrix(65, 16, 1)
+	b := cosma.RandomMatrix(16, 16, 2)
+	if _, _, err := s.Multiply(context.Background(), a, b); err == nil {
+		t.Fatal("oversized request accepted")
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestShardingSpreadsShapes(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 4})
+	seen := map[int]bool{}
+	for m := 1; m <= 64; m++ {
+		seen[shapeKey{m, m, m}.shard(s.Engines())] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("64 shapes hit only %d of 4 shards", len(seen))
+	}
+}
+
+func TestHTTPMultiplyAndStats(t *testing.T) {
+	s := newTestServer(t, Options{})
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	a := cosma.RandomMatrix(24, 16, 1)
+	b := cosma.RandomMatrix(16, 8, 2)
+	body, _ := json.Marshal(MultiplyRequest{M: 24, N: 8, K: 16, A: a.Data, B: b.Data})
+	resp, err := http.Post(srv.URL+"/v1/multiply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out MultiplyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.M != 24 || out.N != 8 || len(out.C) != 24*8 {
+		t.Fatalf("bad response shape %d×%d (%d words)", out.M, out.N, len(out.C))
+	}
+	want := reference(t, a, b)
+	for i := range want.Data {
+		if out.C[i] != want.Data[i] {
+			t.Fatalf("word %d: got %v want %v", i, out.C[i], want.Data[i])
+		}
+	}
+
+	// Malformed body → 400.
+	resp2, err := http.Post(srv.URL+"/v1/multiply", "application/json", bytes.NewReader([]byte(`{"m":2,"n":2,"k":2,"a":[1],"b":[1,2,3,4]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short A: status %d, want 400", resp2.StatusCode)
+	}
+
+	var st Stats
+	resp3, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if err := json.NewDecoder(resp3.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 1 request and 1 rejection", st)
+	}
+
+	if resp4, err := http.Get(srv.URL + "/healthz"); err != nil || resp4.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp4.StatusCode, err)
+	}
+}
+
+func TestHTTPDrainingStatus(t *testing.T) {
+	s := newTestServer(t, Options{})
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(MultiplyRequest{M: 2, N: 2, K: 2, A: []float64{1, 2, 3, 4}, B: []float64{1, 2, 3, 4}})
+	resp, err := http.Post(srv.URL+"/v1/multiply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 while draining", resp.StatusCode)
+	}
+	if hz, err := http.Get(srv.URL + "/healthz"); err != nil || hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %v %v", hz.StatusCode, err)
+	}
+}

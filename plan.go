@@ -4,8 +4,10 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"cosma/internal/algo"
+	"cosma/internal/machine"
 )
 
 // Plan is an immutable compiled multiplication schedule for one problem
@@ -22,6 +24,15 @@ type Plan struct {
 	// autotune makes the executors' rank kernels use autotuned block
 	// sizes and micro-kernel variant (WithAutotune).
 	autotune bool
+	// recvTimeout bounds blocking receives and barrier waits of the
+	// plan's executors (WithRecvTimeout); 0 waits indefinitely.
+	recvTimeout time.Duration
+	// sharedMach, when set, is the engine's wire-transport machine every
+	// executor of this plan runs on (the mesh is one per process, so
+	// executors cannot each own one); execMu serializes executions on
+	// it across all of the engine's plans.
+	sharedMach *machine.Machine
+	execMu     *sync.Mutex
 
 	// Executor free list. Engine.Exec borrows from here so concurrent
 	// same-shape multiplications each get a machine of their own while
@@ -72,9 +83,23 @@ func (p *Plan) String() string {
 // simulated machine and a per-rank scratch arena, both reused across
 // every Exec call, so repeated same-shape multiplications allocate only
 // their outputs. An Executor is not safe for concurrent use — create
-// one per goroutine (Engine.Exec pools them automatically).
+// one per goroutine (Engine.Exec pools them automatically). Executors
+// of a wire-transport plan all share the engine's one machine; never
+// run two of them at once.
 func (p *Plan) NewExecutor() *Executor {
-	return &Executor{plan: p, inner: algo.NewExecutor(p.inner, p.network, p.kernelThreads, p.autotune)}
+	inner, err := algo.NewExecutorOpts(p.inner, algo.ExecOptions{
+		Network:       p.network,
+		KernelThreads: p.kernelThreads,
+		Autotune:      p.autotune,
+		RecvTimeout:   p.recvTimeout,
+		Machine:       p.sharedMach,
+	})
+	if err != nil {
+		// Unreachable: Engine.Plan validates the wire gather gate and
+		// the shared machine's rank count before building the plan.
+		panic(err)
+	}
+	return &Executor{plan: p, inner: inner}
 }
 
 // acquire borrows a pooled executor, building one on first use.
@@ -103,8 +128,14 @@ func (p *Plan) release(e *Executor) {
 	p.mu.Unlock()
 }
 
-// exec runs one multiplication on a pooled executor.
+// exec runs one multiplication on a pooled executor. Wire-transport
+// plans additionally serialize on the engine's machine: wire runs are
+// collective across processes and must not interleave epochs.
 func (p *Plan) exec(ctx context.Context, a, b *Matrix) (*Matrix, *Report, error) {
+	if p.execMu != nil {
+		p.execMu.Lock()
+		defer p.execMu.Unlock()
+	}
 	e := p.acquire()
 	defer p.release(e)
 	return e.Exec(ctx, a, b)
