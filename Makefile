@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race test-noasm bench-overlap bench-overlap-smoke bench-kernel bench-kernel-smoke bench-wire bench-wire-smoke
+.PHONY: build test race test-noasm bench-overlap bench-overlap-smoke bench-kernel bench-kernel-smoke bench-wire bench-wire-smoke bench-load bench-load-smoke fault-conformance fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -64,3 +64,34 @@ bench-wire:
 # mesh or a lost zero-copy path — never runner noise.
 bench-wire-smoke:
 	$(GO) run ./cmd/benchwire -sizes 128,256 -procs 4 -reps 3 -serve-duration 1s -out BENCH_wire.json -guard 50
+
+# bench-load emits BENCH_load.json: a seeded bursty Zipfian workload
+# replayed open-loop through the full serving stack (HTTP front-end,
+# admission queue, coalescing, sharded plan caches) — throughput,
+# p50/p99 latency, shed rate, plan-cache hit rate. Guards are
+# deterministic and self-relative: the hit-rate floor is a property of
+# the seeded catalog (requests >> shapes), and the overhead ceiling
+# compares against a direct in-process engine measured in the same run,
+# so runner noise moves both sides together and cannot fake a failure.
+bench-load:
+	$(GO) run ./cmd/benchload -requests 300 -reps 3 -out BENCH_load.json -guard-hit 0.7 -guard-overhead 50
+
+# The CI smoke: identical artifact and guards, shorter trace and
+# best-of-2 so the shared runner finishes quickly.
+bench-load-smoke:
+	$(GO) run ./cmd/benchload -requests 150 -reps 2 -out BENCH_load.json -guard-hit 0.7 -guard-overhead 50
+
+# fault-conformance runs the transport-semantics suite's fault-injection
+# section under -race on all three transports: every injected failure
+# class (rank death, message drop, delay, straggler) must surface as a
+# prompt error — never a deadlock (the suite runs behind hard watchdog
+# timeouts).
+fault-conformance:
+	$(GO) test -race -run 'TestConformance.*/Fault' -count=1 ./internal/machine/...
+
+# fuzz-smoke gives each fuzz target a short randomized budget beyond
+# its checked-in seed corpus; crashers land in testdata/fuzz and fail
+# subsequent plain `go test` runs until fixed.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzFrameDecode -fuzztime 30s -run '^$$' ./internal/machine/wire
+	$(GO) test -fuzz FuzzMultiplyHandler -fuzztime 30s -run '^$$' ./internal/serve

@@ -1,0 +1,237 @@
+// Command benchload replays a seeded randomized workload through the
+// full serving stack — HTTP front-end, admission queue, shape
+// coalescing, sharded engines with plan caches — and emits the
+// measurement as JSON, the artifact CI archives as BENCH_load.json:
+//
+//	benchload [-seed 1] [-shapes 12] [-zipf 1.1] [-requests 300]
+//	          [-mindim 16] [-maxdim 96] [-rate 400] [-reps 3]
+//	          [-procs 4] [-shards 4] [-queue 256]
+//	          [-out BENCH_load.json] [-guard-hit 0.7] [-guard-overhead 50]
+//
+// The trace is an open-loop bursty Poisson stream over a Zipfian shape
+// catalog (internal/workload): hot shapes ride the plan cache, the
+// long tail forces misses, and bursts stress the admission queue. The
+// replay fires each arrival at its trace offset without waiting for
+// earlier answers, so serving slowdowns show up as latency and shed
+// counts rather than silently throttling the offered load.
+//
+// Regression guards are self-relative and deterministic, immune to
+// machine-speed noise:
+//
+//   - plan-cache hit rate: with `requests ≫ shapes` the steady-state
+//     hit rate is a property of the Zipf catalog, not the machine — a
+//     collapse below -guard-hit means plan caching or sharding broke.
+//   - serving overhead: the same trace volume is also executed directly
+//     on one in-process engine (no HTTP, no queue) in the same run;
+//     direct/served throughput beyond -guard-overhead means the serving
+//     path regressed by an order of magnitude, while honest noise moves
+//     both measurements together.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"cosma"
+	"cosma/internal/serve"
+	"cosma/internal/workload"
+)
+
+// report is the JSON artifact: one replay measurement plus the direct
+// reference and the guard verdicts' inputs.
+type report struct {
+	Seed     uint64  `json:"seed"`
+	Shapes   int     `json:"shapes"`
+	ZipfS    float64 `json:"zipf_s"`
+	Requests int     `json:"requests"` // trace arrivals
+	Reps     int     `json:"reps"`     // replays (best throughput kept)
+
+	Offered    int     `json:"offered"` // multiplications in one replay
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Failed     int     `json:"failed"`
+	ShedRate   float64 `json:"shed_rate"`
+	Throughput float64 `json:"throughput_rps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+
+	PlanHits    int64   `json:"plan_hits"`
+	PlanMisses  int64   `json:"plan_misses"`
+	PlanHitRate float64 `json:"plan_hit_rate"`
+
+	DirectRPS float64 `json:"direct_rps"`      // one engine, no HTTP
+	Overhead  float64 `json:"overhead_factor"` // direct_rps / throughput_rps
+	GuardHit  float64 `json:"guard_hit_rate"`  // floor on plan_hit_rate
+	GuardOver float64 `json:"guard_overhead"`  // ceiling on overhead_factor
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchload: ")
+	seed := flag.Uint64("seed", 1, "workload generator seed")
+	shapes := flag.Int("shapes", 12, "catalog size (distinct shapes)")
+	zipfS := flag.Float64("zipf", 1.1, "Zipf popularity exponent")
+	requests := flag.Int("requests", 300, "trace arrivals per replay")
+	minDim := flag.Int("mindim", 16, "catalog minimum dimension")
+	maxDim := flag.Int("maxdim", 96, "catalog maximum dimension")
+	rate := flag.Float64("rate", 400, "mean arrival rate (requests/sec)")
+	reps := flag.Int("reps", 3, "replays of the trace (best throughput kept)")
+	procs := flag.Int("procs", 4, "simulated ranks per engine")
+	shards := flag.Int("shards", 4, "engine shards")
+	queue := flag.Int("queue", 256, "admission queue limit")
+	out := flag.String("out", "BENCH_load.json", "output JSON path ('-' for stdout)")
+	guardHit := flag.Float64("guard-hit", 0.7,
+		"fail if the plan-cache hit rate falls below this floor (0 disables)")
+	guardOver := flag.Float64("guard-overhead", 50,
+		"fail if direct/served throughput exceeds this factor (0 disables)")
+	flag.Parse()
+
+	rep, err := run(*seed, *shapes, *zipfS, *requests, *minDim, *maxDim, *rate,
+		*reps, *procs, *shards, *queue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.GuardHit = *guardHit
+	rep.GuardOver = *guardOver
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("offered %d: ok %d, shed %d, failed %d; %.0f req/s served, p50 %.2fms p99 %.2fms",
+		rep.Offered, rep.OK, rep.Shed, rep.Failed, rep.Throughput, rep.P50Ms, rep.P99Ms)
+	log.Printf("plan cache: %d hits / %d misses (rate %.3f); direct %.0f req/s (overhead ×%.1f)",
+		rep.PlanHits, rep.PlanMisses, rep.PlanHitRate, rep.DirectRPS, rep.Overhead)
+
+	if *guardHit > 0 && rep.PlanHitRate < *guardHit {
+		log.Fatalf("guard failed: plan-cache hit rate %.3f below floor %.2f", rep.PlanHitRate, *guardHit)
+	}
+	if *guardOver > 0 && rep.Overhead > *guardOver {
+		log.Fatalf("guard failed: serving overhead ×%.1f exceeds ×%.1f", rep.Overhead, *guardOver)
+	}
+	if rep.Failed > 0 {
+		log.Fatalf("guard failed: %d requests failed outright (shed is fine, failure is not)", rep.Failed)
+	}
+}
+
+func run(seed uint64, shapes int, zipfS float64, requests, minDim, maxDim int,
+	rate float64, reps, procs, shards, queue int) (report, error) {
+	gen := workload.NewGenerator(workload.GenConfig{
+		Seed: seed, Shapes: shapes, ZipfS: zipfS,
+		MinDim: minDim, MaxDim: maxDim, Rate: rate,
+	})
+	catalog := gen.Catalog()
+	trace := gen.Trace(requests)
+
+	mem := 3 * maxDim * maxDim // ample for every catalog shape
+	srv, err := serve.New(serve.Options{
+		Engine:     []cosma.Option{cosma.WithProcs(procs), cosma.WithMemory(mem)},
+		Shards:     shards,
+		QueueLimit: queue,
+		MaxDim:     maxDim,
+	})
+	if err != nil {
+		return report{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return report{}, err
+	}
+	hs := &http.Server{Handler: serve.Handler(srv)}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	ctx := context.Background()
+	// Warm-up: one un-timed pass populates every shard's plan cache and
+	// executor pools, so the timed replays measure the steady state the
+	// hit-rate guard is calibrated for.
+	if _, err := serve.Replay(ctx, serve.ReplayConfig{BaseURL: base, NoPace: true}, catalog, trace); err != nil {
+		return report{}, fmt.Errorf("warmup replay: %w", err)
+	}
+	warm := srv.Stats() // subtracted so the hit rate covers timed reps only
+
+	var best serve.ReplayStats
+	for i := 0; i < reps; i++ {
+		st, err := serve.Replay(ctx, serve.ReplayConfig{BaseURL: base, Speedup: 1}, catalog, trace)
+		if err != nil {
+			return report{}, fmt.Errorf("replay %d: %w", i, err)
+		}
+		if st.Throughput > best.Throughput {
+			best = st
+		}
+	}
+	final := srv.Stats()
+	hits := final.PlanHits - warm.PlanHits
+	misses := final.PlanMisses - warm.PlanMisses
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+
+	direct, err := directReference(ctx, catalog, trace, procs, mem)
+	if err != nil {
+		return report{}, err
+	}
+
+	rep := report{
+		Seed: seed, Shapes: shapes, ZipfS: zipfS, Requests: requests, Reps: reps,
+		Offered: best.Offered, OK: best.OK, Shed: best.Shed, Failed: best.Failed,
+		Throughput: best.Throughput,
+		P50Ms:      float64(best.P50) / 1e6,
+		P99Ms:      float64(best.P99) / 1e6,
+		PlanHits:   hits, PlanMisses: misses, PlanHitRate: hitRate,
+		DirectRPS: direct,
+	}
+	if best.Offered > 0 {
+		rep.ShedRate = float64(best.Shed) / float64(best.Offered)
+	}
+	if rep.Throughput > 0 {
+		rep.Overhead = direct / rep.Throughput
+	}
+	return rep, nil
+}
+
+// directReference executes the trace's multiplication volume on one
+// in-process engine — no HTTP, no queue, no batching — and returns its
+// throughput. Measured in the same run on the same machine, it anchors
+// the overhead guard without a stored baseline.
+func directReference(ctx context.Context, catalog []workload.Dims, trace []workload.Request, procs, mem int) (float64, error) {
+	eng, err := cosma.NewEngine(cosma.WithProcs(procs), cosma.WithMemory(mem))
+	if err != nil {
+		return 0, err
+	}
+	type pair struct{ a, b *cosma.Matrix }
+	mats := make([]pair, len(catalog))
+	for i, d := range catalog {
+		mats[i] = pair{
+			a: cosma.RandomMatrix(d.M, d.K, int64(i)),
+			b: cosma.RandomMatrix(d.K, d.N, int64(i)+1000),
+		}
+	}
+	n := 0
+	start := time.Now()
+	for _, req := range trace {
+		for i := 0; i < req.Batch; i++ {
+			m := mats[req.Shape]
+			if _, _, err := eng.Exec(ctx, m.a, m.b); err != nil {
+				return 0, fmt.Errorf("direct reference: %w", err)
+			}
+			n++
+		}
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}

@@ -16,13 +16,16 @@
 // Load generator (client mode, against a running cosmad):
 //
 //	cosmad -loadgen http://localhost:8642 [-duration 3s] [-workers 8]
-//	       [-loadgen-seed 1]
+//	       [-loadgen-seed 1] [-loadgen-shapes 12] [-loadgen-zipf 1.1]
+//	       [-loadgen-mindim 16] [-loadgen-maxdim 384]
 //
-// drives the mixed serving shapes (square, largeK, largeM, flat
-// miniatures) from -workers concurrent clients and reports request
-// throughput, latency percentiles, and how many requests were shed or
-// failed. Results are verified against a locally computed product for
-// a sample of requests.
+// drives a seeded randomized workload (internal/workload): a catalog
+// of -loadgen-shapes shapes spanning the four §8 aspect classes,
+// drawn with Zipfian popularity so hot shapes hammer the plan cache
+// while the tail forces misses. -workers concurrent clients report
+// request throughput, latency percentiles, and how many requests were
+// shed or failed. Results are verified against a locally computed
+// product for a sample of requests.
 package main
 
 import (
@@ -68,11 +71,19 @@ func main() {
 	loadgen := flag.String("loadgen", "", "client mode: drive load at this cosmad base URL instead of serving")
 	duration := flag.Duration("duration", 3*time.Second, "loadgen: how long to drive")
 	workers := flag.Int("workers", 8, "loadgen: concurrent client goroutines")
-	seed := flag.Int64("loadgen-seed", 1, "loadgen: random seed for request payloads")
+	seed := flag.Uint64("loadgen-seed", 1, "loadgen: workload generator seed")
+	lgShapes := flag.Int("loadgen-shapes", 12, "loadgen: catalog size (distinct shapes)")
+	lgZipf := flag.Float64("loadgen-zipf", 1.1, "loadgen: Zipf popularity exponent")
+	lgMinDim := flag.Int("loadgen-mindim", 16, "loadgen: catalog minimum dimension")
+	lgMaxDim := flag.Int("loadgen-maxdim", 384, "loadgen: catalog maximum dimension")
 	flag.Parse()
 
 	if *loadgen != "" {
-		if err := runLoadgen(*loadgen, *duration, *workers, *seed); err != nil {
+		cfg := workload.GenConfig{
+			Seed: *seed, Shapes: *lgShapes, ZipfS: *lgZipf,
+			MinDim: *lgMinDim, MaxDim: *lgMaxDim,
+		}
+		if err := runLoadgen(*loadgen, *duration, *workers, cfg); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -123,10 +134,14 @@ func main() {
 		st.Requests, st.Batches, st.MaxBatch, st.Shed, st.PlanHits, st.PlanMisses)
 }
 
-// runLoadgen drives a mixed-shape request stream at a cosmad instance
-// and prints throughput and latency percentiles.
-func runLoadgen(base string, duration time.Duration, workers int, seed int64) error {
-	dims := workload.ServingDims()
+// runLoadgen drives a seeded Zipfian request stream at a cosmad
+// instance and prints throughput and latency percentiles. Each worker
+// draws shapes from the generator's catalog with Zipf popularity
+// (worker w seeds its own RNG from cfg.Seed+w, so runs are
+// reproducible yet workers are decorrelated).
+func runLoadgen(base string, duration time.Duration, workers int, cfg workload.GenConfig) error {
+	gen := workload.NewGenerator(cfg)
+	dims := gen.Catalog()
 
 	// Pre-build one request body per shape; payload content doesn't
 	// change the serving path, so reusing bodies keeps the generator
@@ -134,8 +149,8 @@ func runLoadgen(base string, duration time.Duration, workers int, seed int64) er
 	bodies := make([][]byte, len(dims))
 	wants := make([][]float64, len(dims))
 	for i, d := range dims {
-		a := cosma.RandomMatrix(d.M, d.K, seed+int64(2*i))
-		b := cosma.RandomMatrix(d.K, d.N, seed+int64(2*i+1))
+		a := cosma.RandomMatrix(d.M, d.K, int64(2*i+1))
+		b := cosma.RandomMatrix(d.K, d.N, int64(2*i+2))
 		body, err := json.Marshal(serve.MultiplyRequest{M: d.M, N: d.N, K: d.K, A: a.Data, B: b.Data})
 		if err != nil {
 			return err
@@ -156,8 +171,10 @@ func runLoadgen(base string, duration time.Duration, workers int, seed int64) er
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			rng := workload.NewRNG(cfg.Seed + uint64(w))
+			zipf := workload.NewZipf(len(dims), cfg.ZipfS)
 			for i := w; time.Now().Before(deadline); i++ {
-				shape := i % len(dims)
+				shape := zipf.Sample(rng)
 				start := time.Now()
 				status, c, err := postMultiply(client, base, bodies[shape])
 				lat := time.Since(start)

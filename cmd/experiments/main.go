@@ -3,6 +3,7 @@
 // subcommand names to select individual experiments:
 //
 //	experiments [-network pizdaint|ethernet|sharedmem] [-calibrate] [-tune]
+//	            [-ranks-per-node 0] [-intra sharedmem] [-congestion 1]
 //	            [table1] [fig3] [seqio] [fig5] [table3] [fig6] [fig7]
 //	            [fig8] [fig9] [fig10] [fig11] [fig12] [fig13] [table4]
 //	            [unfavorable] [validate] [timevolume] [overlap] [algos]
@@ -13,8 +14,14 @@
 // γ into the preset, so the reported compute times are calibrated to
 // this machine rather than assumed. -tune goes further: it autotunes
 // the kernel's block sizes and micro-kernel variant (matrix.Tune) and
-// derives γ from the tuned throughput instead. The comparison set is
-// drawn from the name-keyed algorithm registry; "algos" lists it.
+// derives γ from the tuned throughput instead.
+//
+// -ranks-per-node N (N > 0) makes the network hierarchical: groups of
+// N consecutive ranks share a node, intra-node links take their α-β
+// from the -intra preset, and inter-node words are scaled by the
+// -congestion factor — the timed tables then reflect a cluster of
+// multicore nodes rather than a flat interconnect. The comparison set
+// is drawn from the name-keyed algorithm registry; "algos" lists it.
 package main
 
 import (
@@ -40,6 +47,12 @@ func main() {
 		"measure the local packed kernel and substitute its γ into the network preset")
 	tune := flag.Bool("tune", false,
 		"autotune the local kernel (block sizes + micro-kernel variant) and derive γ from the tuned throughput")
+	ranksPerNode := flag.Int("ranks-per-node", 0,
+		"make the network hierarchical: ranks per node (0 = flat)")
+	intraName := flag.String("intra", "sharedmem",
+		"intra-node α-β preset for -ranks-per-node: pizdaint, ethernet or sharedmem")
+	congestion := flag.Float64("congestion", 1,
+		"inter-node per-word congestion factor for -ranks-per-node")
 	flag.Parse()
 	network, err := machine.NetworkByName(*netName)
 	if err != nil {
@@ -53,6 +66,13 @@ func main() {
 		cal := matrix.Calibrate(0, 0)
 		fmt.Println(cal)
 		network = network.WithGamma(cal.Gamma)
+	}
+	if *ranksPerNode > 0 {
+		intra, err := machine.NetworkByName(*intraName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		network = machine.Hierarchical(intra, network, *ranksPerNode, *congestion)
 	}
 	all := []string{
 		"table1", "fig3", "seqio", "fig5", "table3", "fig6", "fig7",

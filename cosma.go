@@ -95,6 +95,45 @@ type WireConfig = wire.Config
 // wait exceeds the WithRecvTimeout bound; test with errors.Is.
 var ErrRecvTimeout = machine.ErrRecvTimeout
 
+// HierarchicalNetwork composes a two-level network out of two flat
+// profiles: ranks are packed onto nodes of ranksPerNode consecutive
+// ranks each, intra-node links use intra's α-β, inter-node links use
+// inter's α-β with the per-word cost scaled by congestion (≤0 or 1
+// means none). γ and the memory/overlap knobs come from inter. The
+// result is an ordinary NetworkParams — pass it to WithNetwork or
+// PredictTime like any preset.
+func HierarchicalNetwork(intra, inter NetworkParams, ranksPerNode int, congestion float64) NetworkParams {
+	return machine.Hierarchical(intra, inter, ranksPerNode, congestion)
+}
+
+// FaultPlan declares faults to inject into every execution of an
+// engine configured with WithFaultPlan: rank deaths at a barrier
+// round, message drops and delays on chosen links, and slow ranks.
+// Injected failures surface as prompt Exec errors — never hangs —
+// on all three transports; deaths wrap ErrFaultInjected, drops and
+// wall-clock delays trip the WithRecvTimeout deadline as
+// ErrRecvTimeout.
+type FaultPlan = machine.FaultPlan
+
+// RankDeath kills one rank as it enters its Round-th barrier.
+type RankDeath = machine.RankDeath
+
+// MessageDrop silently discards messages on the Src→Dst link after
+// the first After have been let through (-1 wildcards a side).
+type MessageDrop = machine.MessageDrop
+
+// MessageDelay slows the Src→Dst link: Seconds of simulated time on
+// the timed transport, Wall of real sender-side stall on any.
+type MessageDelay = machine.MessageDelay
+
+// SlowRank stretches one rank's compute: Factor multiplies its γ
+// charge on the timed transport, PerCompute adds a real stall.
+type SlowRank = machine.SlowRank
+
+// ErrFaultInjected is wrapped by run errors caused by a FaultPlan
+// rank death; test with errors.Is.
+var ErrFaultInjected = machine.ErrFaultInjected
+
 // WireFromEnv reads the wire bootstrap handshake from the environment
 // (WIRE_RANK, WIRE_PEERS) and reports whether one is present — the way
 // a launched worker process discovers its cluster. The launcher sets

@@ -86,6 +86,7 @@ type engineConfig struct {
 	autotune      bool
 	wireCfg       *wire.Config
 	recvTimeout   time.Duration
+	faults        *machine.FaultPlan
 	err           error // first option error, surfaced by NewEngine
 }
 
@@ -240,6 +241,26 @@ func WithRecvTimeout(d time.Duration) Option {
 	}
 }
 
+// WithFaultPlan injects a deterministic chaos schedule into every
+// execution: rank deaths at barrier rounds, message drops and delays,
+// and slow-rank γ skew, applied at the machine's Rank layer so the
+// same plan perturbs runs identically on the counting, timed and wire
+// transports. Every injected failure class surfaces as a prompt error
+// from Exec — an injected death wraps ErrFaultInjected, and a dropped
+// or over-delayed message trips the WithRecvTimeout deadline (set one
+// when injecting drops or delays; a lost message is indistinguishable
+// from a lost peer). An empty plan is a no-op: clean runs stay
+// bitwise-identical to an engine without the option.
+func WithFaultPlan(fp FaultPlan) Option {
+	return func(c *engineConfig) {
+		if fp.Empty() {
+			c.faults = nil
+			return
+		}
+		c.faults = &fp
+	}
+}
+
 // WithPlanCacheSize bounds the LRU plan cache to n distinct shapes
 // (default 64, minimum 1).
 func WithPlanCacheSize(n int) Option {
@@ -280,6 +301,11 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	}
 	if cfg.delta == 0 {
 		cfg.delta = DefaultDelta
+	}
+	if cfg.faults != nil {
+		if err := cfg.faults.Validate(cfg.procs); err != nil {
+			return nil, err
+		}
 	}
 	runner, err := algo.New(cfg.algorithm, algo.Config{Delta: cfg.delta, Network: cfg.network, Overlap: cfg.overlap})
 	if err != nil {
@@ -399,7 +425,7 @@ func (e *Engine) Plan(ctx context.Context, m, n, k int) (*Plan, error) {
 	p := &Plan{
 		inner: inner, network: e.cfg.network,
 		kernelThreads: e.cfg.kernelThreads, autotune: e.cfg.autotune,
-		recvTimeout: e.cfg.recvTimeout,
+		recvTimeout: e.cfg.recvTimeout, faults: e.cfg.faults,
 	}
 	if e.wireMach != nil {
 		// The distributed-gather gate of algo.NewExecutorOpts, surfaced

@@ -1,0 +1,106 @@
+package cosma
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cosma/internal/matrix"
+)
+
+// TestEngineFaultPlanKillSurfacesAsError proves the public WithFaultPlan
+// path end to end: a rank death injected through the engine surfaces as
+// a prompt Exec error wrapping ErrFaultInjected, on both the counting
+// and the timed transport.
+func TestEngineFaultPlanKillSurfacesAsError(t *testing.T) {
+	net := PizDaintNetwork()
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"counting", nil},
+		{"timed", []Option{WithNetwork(net)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := append([]Option{
+				WithProcs(4), WithMemory(1 << 16),
+				WithFaultPlan(FaultPlan{Deaths: []RankDeath{{Rank: 1, Round: 0}}}),
+			}, tc.opts...)
+			eng, err := NewEngine(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := RandomMatrix(48, 48, 1)
+			b := RandomMatrix(48, 48, 2)
+			done := make(chan error, 1)
+			go func() {
+				_, _, err := eng.Exec(context.Background(), a, b)
+				done <- err
+			}()
+			select {
+			case err = <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("injected death hung Exec instead of erroring")
+			}
+			if !errors.Is(err, ErrFaultInjected) {
+				t.Fatalf("err = %v, want ErrFaultInjected", err)
+			}
+		})
+	}
+}
+
+// TestEngineFaultPlanDropTripsRecvTimeout proves a dropped link plus
+// WithRecvTimeout turns a would-be deadlock into ErrRecvTimeout.
+func TestEngineFaultPlanDropTripsRecvTimeout(t *testing.T) {
+	eng, err := NewEngine(
+		WithProcs(4), WithMemory(1<<16),
+		WithRecvTimeout(200*time.Millisecond),
+		WithFaultPlan(FaultPlan{Drops: []MessageDrop{{Src: -1, Dst: 0}}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandomMatrix(48, 48, 3)
+	b := RandomMatrix(48, 48, 4)
+	_, _, err = eng.Exec(context.Background(), a, b)
+	if !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("err = %v, want ErrRecvTimeout", err)
+	}
+}
+
+// TestEngineFaultPlanEmptyIsIdentity proves WithFaultPlan(FaultPlan{})
+// is a no-op: the product matches a fault-free engine bitwise.
+func TestEngineFaultPlanEmptyIsIdentity(t *testing.T) {
+	a := RandomMatrix(40, 40, 5)
+	b := RandomMatrix(40, 40, 6)
+	run := func(opts ...Option) *Matrix {
+		eng, err := NewEngine(append([]Option{WithProcs(4), WithMemory(1 << 16)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := eng.Exec(context.Background(), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	plain := run()
+	empty := run(WithFaultPlan(FaultPlan{}))
+	if !matrix.EqualWithin(plain, empty, 0) {
+		t.Fatal("empty fault plan changed the product")
+	}
+}
+
+// TestEngineFaultPlanValidatedAtConstruction proves an out-of-range
+// plan is rejected by NewEngine, not at Exec time.
+func TestEngineFaultPlanValidatedAtConstruction(t *testing.T) {
+	_, err := NewEngine(
+		WithProcs(4), WithMemory(1<<16),
+		WithFaultPlan(FaultPlan{Deaths: []RankDeath{{Rank: 9}}}),
+	)
+	if err == nil {
+		t.Fatal("NewEngine accepted a fault plan referencing rank 9 of 4")
+	}
+}

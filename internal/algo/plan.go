@@ -119,6 +119,10 @@ type ExecOptions struct {
 	// process's one socket mesh. The caller keeps ownership; executions
 	// on the same machine must not overlap.
 	Machine *machine.Machine
+	// Faults, when non-nil, installs a fault plan on the executor's
+	// machine: injected rank deaths, message drops/delays and
+	// stragglers perturb every Exec identically on all transports.
+	Faults *machine.FaultPlan
 }
 
 // NewExecutorOpts builds an executor for p under o. It is the general
@@ -138,6 +142,11 @@ func NewExecutorOpts(p Plan, o ExecOptions) (*Executor, error) {
 	}
 	if o.RecvTimeout > 0 {
 		mach.SetRecvTimeout(o.RecvTimeout)
+	}
+	if o.Faults != nil {
+		if err := mach.SetFaultPlan(*o.Faults); err != nil {
+			return nil, err
+		}
 	}
 	used := p.Used()
 	if used < 1 {

@@ -95,3 +95,32 @@ func TestTimedCountersMatchCounting(t *testing.T) {
 		}
 	}
 }
+
+// TestTimedHierarchicalNetworkRaisesCritPath runs the same problem on
+// a flat Piz-Daint network and on a hierarchical one with the same
+// α-β on every link but congested inter-node words: since no link got
+// cheaper, the predicted critical path must not drop for any
+// algorithm, and traffic counters (a property of the schedule, not
+// the network) must agree across the two networks.
+func TestTimedHierarchicalNetworkRaisesCritPath(t *testing.T) {
+	flat := machine.PizDaintNet()
+	hier := machine.Hierarchical(flat, flat, 4, 2)
+	flatReps, err := TimedReports(64, 64, 64, 8, 2048, flat, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hierReps, err := TimedReports(64, 64, 64, 8, 2048, hier, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fr := range flatReps {
+		hr := hierReps[i]
+		if hr.MaxVolume != fr.MaxVolume || hr.MaxMsgs != fr.MaxMsgs {
+			t.Errorf("%s: traffic differs across networks: %+v vs %+v", fr.Name, fr, hr)
+		}
+		if hr.CritPathTime < fr.CritPathTime {
+			t.Errorf("%s: congested hierarchical critical path %v beats flat %v",
+				fr.Name, hr.CritPathTime, fr.CritPathTime)
+		}
+	}
+}

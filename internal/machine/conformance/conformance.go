@@ -1,10 +1,12 @@
 // Package conformance is the backend-agnostic machine.Transport test
 // suite: one set of semantic checks — FIFO delivery per (src, tag),
 // owned-vs-copied sends, Request Wait/Test, barriers and their
-// poisoning, cancellation, receive deadlines, machine reuse — run
-// against every backend (counting, timed, wire loopback, wire over
-// sockets) so a new transport cannot drift from the delivery
-// discipline the algorithms assume.
+// poisoning, cancellation, receive deadlines, machine reuse, and the
+// fault-injection section (rank death mid-round, dropped and delayed
+// messages, stragglers — each must surface as a prompt error, never a
+// hang) — run against every backend (counting, timed, wire loopback,
+// wire over sockets) so a new transport cannot drift from the
+// delivery discipline the algorithms assume.
 package conformance
 
 import (
@@ -280,6 +282,125 @@ func Run(t *testing.T, factory Factory) {
 		}
 	})
 
+	// The fault-injection section: every injected failure class must
+	// surface as a prompt error on every backend — never a hang — and
+	// the cluster must stay usable afterwards. runWithin enforces
+	// promptness with a hard wall-clock bound.
+
+	t.Run("FaultRankDeathMidRound", func(t *testing.T) {
+		c := cluster(t)
+		plan := machine.FaultPlan{Deaths: []machine.RankDeath{{Rank: p - 1, Round: 1}}}
+		for _, m := range c.Machines {
+			if err := m.SetFaultPlan(plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+		errs := runWithin(t, 30*time.Second, c, context.Background(), func(r *machine.Rank) error {
+			next, prev := (r.ID()+1)%r.P(), (r.ID()+r.P()-1)%r.P()
+			for round := 0; round < 3; round++ {
+				r.Send(next, round, []float64{float64(round)})
+				got := r.Recv(prev, round)
+				machine.Release(got)
+				r.Barrier() // rank p−1 dies entering round 1
+			}
+			return nil
+		})
+		for i, err := range errs {
+			if err == nil {
+				t.Fatalf("machine %d returned nil from a run with a dead rank", i)
+			}
+		}
+		if err := errs[hostIndex(c, p-1)]; !errors.Is(err, machine.ErrFaultInjected) {
+			t.Fatalf("victim host: got %v, want ErrFaultInjected", err)
+		}
+		// Clearing the plan must restore a clean, reusable cluster.
+		for _, m := range c.Machines {
+			if err := m.SetFaultPlan(machine.FaultPlan{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := first(runWithin(t, 30*time.Second, c, context.Background(), pingRing)); err != nil {
+			t.Fatalf("run after rank death: %v", err)
+		}
+	})
+
+	t.Run("FaultMessageDrop", func(t *testing.T) {
+		c := cluster(t)
+		plan := machine.FaultPlan{Drops: []machine.MessageDrop{{Src: 0, Dst: 1}}}
+		for _, m := range c.Machines {
+			if err := m.SetFaultPlan(plan); err != nil {
+				t.Fatal(err)
+			}
+			m.SetRecvTimeout(150 * time.Millisecond)
+		}
+		errs := runWithin(t, 30*time.Second, c, context.Background(), pingRing)
+		// The starved receiver's host must report the timeout. Other
+		// machines may legitimately finish clean on multi-process
+		// backends: the drop is sender-side, so a process whose local
+		// ranks all completed returns before the abort reaches it.
+		if err := errs[hostIndex(c, 1)]; !errors.Is(err, machine.ErrRecvTimeout) {
+			t.Fatalf("starved receiver host: got %v, want ErrRecvTimeout", err)
+		}
+	})
+
+	t.Run("FaultDelayedDelivery", func(t *testing.T) {
+		c := cluster(t)
+		// The delivery stalls 500ms against a 100ms deadline: the
+		// receiver must report the timeout rather than wait it out.
+		plan := machine.FaultPlan{Delays: []machine.MessageDelay{
+			{Src: 0, Dst: 1, Wall: 500 * time.Millisecond},
+		}}
+		for _, m := range c.Machines {
+			if err := m.SetFaultPlan(plan); err != nil {
+				t.Fatal(err)
+			}
+			m.SetRecvTimeout(100 * time.Millisecond)
+		}
+		errs := runWithin(t, 30*time.Second, c, context.Background(), pingRing)
+		if err := errs[hostIndex(c, 1)]; !errors.Is(err, machine.ErrRecvTimeout) {
+			t.Fatalf("delayed receiver host: got %v, want ErrRecvTimeout", err)
+		}
+	})
+
+	t.Run("FaultSlowRank", func(t *testing.T) {
+		c := cluster(t)
+		// A straggler alone is a perturbation, not a failure: the run
+		// must still complete when the deadline accommodates it…
+		plan := machine.FaultPlan{Slow: []machine.SlowRank{
+			{Rank: 2, Factor: 4, PerCompute: 50 * time.Millisecond},
+		}}
+		for _, m := range c.Machines {
+			if err := m.SetFaultPlan(plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+		slowRing := func(r *machine.Rank) error {
+			r.Compute(1 << 10)
+			return pingRing(r)
+		}
+		if err := first(runWithin(t, 30*time.Second, c, context.Background(), slowRing)); err != nil {
+			t.Fatalf("straggler must not fail an undeadlined run: %v", err)
+		}
+		// …and surface as ErrRecvTimeout somewhere when it cannot keep
+		// a tight deadline.
+		for _, m := range c.Machines {
+			m.SetRecvTimeout(10 * time.Millisecond)
+		}
+		errs := runWithin(t, 30*time.Second, c, context.Background(), func(r *machine.Rank) error {
+			r.Compute(1 << 10) // the straggler stalls 50ms here
+			return pingRing(r)
+		})
+		timedOut := false
+		for _, err := range errs {
+			if errors.Is(err, machine.ErrRecvTimeout) {
+				timedOut = true
+			}
+		}
+		if !timedOut {
+			t.Fatalf("no rank reported ErrRecvTimeout waiting on the straggler: %v", errs)
+		}
+	})
+
 	t.Run("ReuseAndCounterReset", func(t *testing.T) {
 		c := cluster(t)
 		if err := first(c.run(context.Background(), pingRing)); err != nil {
@@ -311,6 +432,23 @@ func pingRing(r *machine.Rank) error {
 	}
 	machine.Release(got)
 	return nil
+}
+
+// runWithin is run with a hard wall-clock bound: a cluster that fails
+// to unwind within d is reported as a deadlock and the test dies. The
+// bound is deliberately generous — it exists to catch hangs, not to
+// benchmark.
+func runWithin(t *testing.T, d time.Duration, c *Cluster, ctx context.Context, program func(*machine.Rank) error) []error {
+	t.Helper()
+	done := make(chan []error, 1)
+	go func() { done <- c.run(ctx, program) }()
+	select {
+	case errs := <-done:
+		return errs
+	case <-time.After(d):
+		t.Fatalf("deadlock: injected fault did not surface within %v", d)
+		return nil
+	}
 }
 
 func hostIndex(c *Cluster, rank int) int {

@@ -1,0 +1,312 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FaultPlan is a deterministic chaos schedule injected at the Rank
+// layer, so one plan perturbs a run identically on all three
+// transports: rank deaths fire entering a barrier round, message
+// drops and delays fire at the sender's send sites, and slow ranks
+// stretch their Compute calls. Every failure class surfaces as a
+// prompt error from Run — a dead rank interrupts the machine (on the
+// wire backend that rides the existing abort broadcast, so peer
+// processes unwind too), and a dropped or over-delayed message trips
+// the SetRecvTimeout deadline at the receiver. Set a deadline when
+// injecting drops or delays on machines that are not otherwise
+// cancelled: a lost message is, by design, indistinguishable from a
+// lost peer.
+//
+// The zero value injects nothing, and an empty plan leaves the machine
+// on the exact code path it had before SetFaultPlan was called —
+// clean runs stay bitwise-identical.
+type FaultPlan struct {
+	Deaths []RankDeath
+	Drops  []MessageDrop
+	Delays []MessageDelay
+	Slow   []SlowRank
+}
+
+// RankDeath kills Rank at its first send, compute or barrier once the
+// rank has passed Round barriers (0-based, counted per rank within one
+// Run) — in a barrier-per-round program that is within round Round; in
+// a barrier-free program Round 0 fires at the first operation. The rank
+// panics, the run is interrupted, and Run reports an error wrapping
+// ErrFaultInjected.
+type RankDeath struct {
+	Rank  int
+	Round int
+}
+
+// MessageDrop silently discards messages from Src to Dst after the
+// first After have been delivered (After 0 drops them all). Src or
+// Dst may be -1 to match any rank; the most specific matching rule
+// wins. Self-sends are never dropped.
+type MessageDrop struct {
+	Src, Dst int
+	After    int
+}
+
+// MessageDelay slows the Src→Dst link: Seconds delays the logical
+// departure stamp on the timed transport (a pure model perturbation),
+// and Wall stalls the sending goroutine for real on any transport —
+// long enough a Wall delay trips the receiver's ErrRecvTimeout
+// deadline. Src or Dst may be -1 to match any rank.
+type MessageDelay struct {
+	Src, Dst int
+	Seconds  float64
+	Wall     time.Duration
+}
+
+// SlowRank skews one rank's compute: Factor ≥ 1 multiplies the γ
+// charge on the timed transport's clock (a straggler in the model),
+// and PerCompute stalls each Compute call for real on any transport.
+type SlowRank struct {
+	Rank       int
+	Factor     float64
+	PerCompute time.Duration
+}
+
+// ErrFaultInjected marks a run killed by an injected RankDeath. Match
+// it with errors.Is on the error Run returns.
+var ErrFaultInjected = errors.New("injected fault")
+
+// Empty reports whether the plan injects nothing.
+func (fp FaultPlan) Empty() bool {
+	return len(fp.Deaths) == 0 && len(fp.Drops) == 0 && len(fp.Delays) == 0 && len(fp.Slow) == 0
+}
+
+// Validate checks every rank reference against machine size p.
+func (fp FaultPlan) Validate(p int) error {
+	check := func(what string, rank int, wild bool) error {
+		if wild && rank == -1 {
+			return nil
+		}
+		if rank < 0 || rank >= p {
+			return fmt.Errorf("machine: fault plan: %s rank %d outside [0, %d)", what, rank, p)
+		}
+		return nil
+	}
+	for _, d := range fp.Deaths {
+		if err := check("death", d.Rank, false); err != nil {
+			return err
+		}
+		if d.Round < 0 {
+			return fmt.Errorf("machine: fault plan: death round %d < 0", d.Round)
+		}
+	}
+	for _, d := range fp.Drops {
+		if err := check("drop src", d.Src, true); err != nil {
+			return err
+		}
+		if err := check("drop dst", d.Dst, true); err != nil {
+			return err
+		}
+		if d.After < 0 {
+			return fmt.Errorf("machine: fault plan: drop after %d < 0", d.After)
+		}
+	}
+	for _, d := range fp.Delays {
+		if err := check("delay src", d.Src, true); err != nil {
+			return err
+		}
+		if err := check("delay dst", d.Dst, true); err != nil {
+			return err
+		}
+		if d.Seconds < 0 || d.Wall < 0 {
+			return fmt.Errorf("machine: fault plan: negative delay")
+		}
+	}
+	for _, s := range fp.Slow {
+		if err := check("slow", s.Rank, false); err != nil {
+			return err
+		}
+		if s.Factor != 0 && s.Factor < 1 {
+			return fmt.Errorf("machine: fault plan: slow factor %v must be ≥ 1 (or 0 for unset)", s.Factor)
+		}
+		if s.PerCompute < 0 {
+			return fmt.Errorf("machine: fault plan: negative per-compute stall")
+		}
+	}
+	return nil
+}
+
+// faultPanic unwinds a rank killed by an injected death; RunCtx
+// reports it as the run's root cause.
+type faultPanic struct {
+	err error
+}
+
+// clockSkewer is implemented by transports with a logical clock that
+// injected stragglers can stretch (the timed backend).
+type clockSkewer interface {
+	SkewClock(rank int, seconds float64)
+}
+
+// faultState is a FaultPlan compiled per rank. The mutable fields of
+// each rankFaults entry are touched only by that rank's own program
+// goroutine, so no locking is needed; reset runs between Runs with no
+// rank goroutines alive.
+type faultState struct {
+	ranks []rankFaults
+}
+
+type rankFaults struct {
+	death  *RankDeath
+	slow   *SlowRank
+	drops  []MessageDrop  // rules applying to this sender, most specific first
+	delays []MessageDelay // likewise
+	// Mutable per-run state, owned by the rank's goroutine:
+	barriers int
+	sent     []int // per-destination send attempts (nil unless drops exist)
+}
+
+func compileFaults(fp FaultPlan, p int) *faultState {
+	// Specificity order: exact src+dst, then one wildcard, then two;
+	// ties keep plan order (stable sort).
+	spec := func(src, dst int) int {
+		n := 0
+		if src == -1 {
+			n += 2
+		}
+		if dst == -1 {
+			n++
+		}
+		return n
+	}
+	f := &faultState{ranks: make([]rankFaults, p)}
+	for r := 0; r < p; r++ {
+		rf := &f.ranks[r]
+		for i := range fp.Deaths {
+			if fp.Deaths[i].Rank == r {
+				rf.death = &fp.Deaths[i]
+				break
+			}
+		}
+		for i := range fp.Slow {
+			if fp.Slow[i].Rank == r {
+				rf.slow = &fp.Slow[i]
+				break
+			}
+		}
+		for _, d := range fp.Drops {
+			if d.Src == r || d.Src == -1 {
+				rf.drops = append(rf.drops, d)
+			}
+		}
+		sort.SliceStable(rf.drops, func(i, j int) bool {
+			return spec(rf.drops[i].Src, rf.drops[i].Dst) < spec(rf.drops[j].Src, rf.drops[j].Dst)
+		})
+		for _, d := range fp.Delays {
+			if d.Src == r || d.Src == -1 {
+				rf.delays = append(rf.delays, d)
+			}
+		}
+		sort.SliceStable(rf.delays, func(i, j int) bool {
+			return spec(rf.delays[i].Src, rf.delays[i].Dst) < spec(rf.delays[j].Src, rf.delays[j].Dst)
+		})
+		if len(rf.drops) > 0 {
+			rf.sent = make([]int, p)
+		}
+	}
+	return f
+}
+
+// reset clears the per-run counters; called from RunCtx before the
+// rank goroutines start.
+func (f *faultState) reset() {
+	for i := range f.ranks {
+		f.ranks[i].barriers = 0
+		for j := range f.ranks[i].sent {
+			f.ranks[i].sent[j] = 0
+		}
+	}
+}
+
+// maybeDie fires a scheduled death once the rank's barrier count has
+// reached the death round. Checking at every send and compute — not
+// only at barrier entry — makes Round-0 deaths fire in barrier-free
+// programs too (the GEMM executors never call Barrier), while
+// barrier-driven programs still die within their scheduled round.
+func (rf *rankFaults) maybeDie(rank int) {
+	if rf.death != nil && rf.barriers >= rf.death.Round {
+		panic(faultPanic{fmt.Errorf("%w: rank %d died in round %d",
+			ErrFaultInjected, rank, rf.death.Round)})
+	}
+}
+
+// send applies the plan to an outgoing message from rank to dst: it
+// stalls the sender for any wall-clock delay, and reports whether the
+// message is dropped plus any logical departure delay in seconds.
+func (f *faultState) send(rank, dst int) (drop bool, logical float64) {
+	rf := &f.ranks[rank]
+	rf.maybeDie(rank)
+	n := 0
+	if rf.sent != nil {
+		n = rf.sent[dst]
+		rf.sent[dst] = n + 1
+	}
+	for i := range rf.drops {
+		if d := &rf.drops[i]; d.Dst == dst || d.Dst == -1 {
+			if n >= d.After {
+				return true, 0
+			}
+			break
+		}
+	}
+	for i := range rf.delays {
+		if d := &rf.delays[i]; d.Dst == dst || d.Dst == -1 {
+			if d.Wall > 0 {
+				time.Sleep(d.Wall)
+			}
+			logical = d.Seconds
+			break
+		}
+	}
+	return false, logical
+}
+
+// barrier fires any scheduled death for rank at its current round,
+// then advances the round count.
+func (f *faultState) barrier(rank int) {
+	rf := &f.ranks[rank]
+	rf.maybeDie(rank)
+	rf.barriers++
+}
+
+// compute applies any straggler skew for rank after a Compute charge.
+func (f *faultState) compute(m *Machine, rank int, flops int64) {
+	f.ranks[rank].maybeDie(rank)
+	s := f.ranks[rank].slow
+	if s == nil {
+		return
+	}
+	if s.PerCompute > 0 {
+		time.Sleep(s.PerCompute)
+	}
+	if s.Factor > 1 {
+		if sk, ok := m.t.(clockSkewer); ok {
+			if net, timed := m.t.Network(); timed {
+				sk.SkewClock(rank, (s.Factor-1)*net.Gamma*float64(flops))
+			}
+		}
+	}
+}
+
+// SetFaultPlan installs (or, with an empty plan, removes) a fault
+// plan for subsequent Runs. With no plan installed every fast path is
+// a single nil check, so clean runs are untouched.
+func (m *Machine) SetFaultPlan(fp FaultPlan) error {
+	if fp.Empty() {
+		m.faults = nil
+		return nil
+	}
+	if err := fp.Validate(m.P()); err != nil {
+		return err
+	}
+	m.faults = compileFaults(fp, m.P())
+	return nil
+}

@@ -1,0 +1,75 @@
+package machine
+
+import "fmt"
+
+// Hierarchical builds a two-level network from a rank→node map: the p
+// ranks are packed ranksPerNode to a node in rank order, traffic
+// between ranks on the same node pays the intra profile's α-β (e.g.
+// sharedmem), and traffic between nodes pays the inter profile's α-β
+// (e.g. ethernet or pizdaint) with β additionally multiplied by
+// congestion ≥ 1 — the factor by which the node's shared injection
+// link is oversubscribed when all its ranks talk off-node at once.
+// Compute is charged at the inter profile's γ (cores are cores,
+// whichever link they sit behind).
+//
+// The flat model is the exact special case intra == inter with
+// congestion 1: every Link* method then returns the same float64 the
+// flat path reads directly, so predictions and timed-transport clocks
+// collapse bitwise to the single-level network's.
+func Hierarchical(intra, inter NetworkParams, ranksPerNode int, congestion float64) NetworkParams {
+	if ranksPerNode < 1 {
+		panic(fmt.Sprintf("machine: Hierarchical ranksPerNode = %d", ranksPerNode))
+	}
+	if congestion <= 0 {
+		congestion = 1
+	}
+	n := inter
+	n.RanksPerNode = ranksPerNode
+	n.IntraAlpha = intra.Alpha
+	n.IntraBeta = intra.Beta
+	n.Congestion = congestion
+	n.Name = fmt.Sprintf("%s/%s×%d", inter.Name, intra.Name, ranksPerNode)
+	if congestion != 1 {
+		n.Name += fmt.Sprintf("+c%g", congestion)
+	}
+	return n
+}
+
+// Hier reports whether the network carries a rank→node hierarchy.
+func (n NetworkParams) Hier() bool { return n.RanksPerNode > 0 }
+
+// NodeOf returns the node a rank lives on (0 for flat networks).
+func (n NetworkParams) NodeOf(rank int) int {
+	if n.RanksPerNode <= 0 {
+		return 0
+	}
+	return rank / n.RanksPerNode
+}
+
+// LinkAlpha returns the per-message latency of the src→dst link.
+func (n NetworkParams) LinkAlpha(src, dst int) float64 {
+	if n.RanksPerNode > 0 && src/n.RanksPerNode == dst/n.RanksPerNode {
+		return n.IntraAlpha
+	}
+	return n.Alpha
+}
+
+// LinkBeta returns the per-word cost of the src→dst link, with the
+// congestion factor applied to inter-node traffic.
+func (n NetworkParams) LinkBeta(src, dst int) float64 {
+	if n.RanksPerNode > 0 && src/n.RanksPerNode == dst/n.RanksPerNode {
+		return n.IntraBeta
+	}
+	return n.interBeta()
+}
+
+// interBeta is the inter-node per-word cost. Congestion 0 (the flat
+// zero value) returns Beta itself, untouched, so flat predictions stay
+// bitwise-identical; congestion 1 multiplies by exactly 1.0, which
+// IEEE 754 guarantees is also bitwise-identical.
+func (n NetworkParams) interBeta() float64 {
+	if n.Congestion > 0 {
+		return n.Beta * n.Congestion
+	}
+	return n.Beta
+}

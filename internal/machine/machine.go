@@ -69,6 +69,10 @@ type Machine struct {
 	// Runs). It is written before the rank goroutines start and read by
 	// them through Rank.Err, so it needs no lock.
 	ctx context.Context
+	// faults is the compiled fault plan, nil unless SetFaultPlan
+	// installed one — the nil check is the entire cost of the clean
+	// path. Written only between Runs.
+	faults *faultState
 }
 
 // New returns a machine with p ranks on the counting transport.
@@ -153,6 +157,9 @@ func (m *Machine) Run(program func(r *Rank) error) error {
 func (m *Machine) RunCtx(ctx context.Context, program func(r *Rank) error) error {
 	m.t.Reset()
 	m.barrier.reset()
+	if m.faults != nil {
+		m.faults.reset()
+	}
 	m.ctx = ctx
 	// The cancellation callback must not outlive this Run: a pooled
 	// machine is reused (and Reset) the moment RunCtx returns, and a
@@ -180,6 +187,15 @@ func (m *Machine) RunCtx(ctx context.Context, program func(r *Rank) error) error
 				case nil:
 				case interruptedPanic:
 					errs[i] = fmt.Errorf("machine: rank %d: %w", id, errInterrupted)
+				case poisonedPanic:
+					// A poisoned barrier is collateral of whichever rank
+					// failed first; never report it as the root cause.
+					errs[i] = fmt.Errorf("machine: rank %d: %w", id, errInterrupted)
+				case faultPanic:
+					errs[i] = fmt.Errorf("machine: rank %d: %w", id, r.err)
+					// Unwind the peers — on the wire backend this rides
+					// the abort broadcast to the other processes.
+					m.interrupt()
 				case timeoutPanic:
 					errs[i] = fmt.Errorf("machine: rank %d: recv from rank %d (tag %d): %w after %v",
 						id, r.key.src, r.key.tag, ErrRecvTimeout, r.timeout)
@@ -382,7 +398,24 @@ func (r *Rank) P() int { return r.m.P() }
 // blocks (eager unbounded buffering).
 func (r *Rank) Send(dst, tag int, data []float64) {
 	r.checkPeer(dst, "sends to")
+	if drop, delay := r.faultSend(dst); drop {
+		return
+	} else if delay > 0 {
+		r.m.t.SendAt(r.id, dst, tag, data, false, r.Now()+delay)
+		return
+	}
 	r.m.t.Send(r.id, dst, tag, data, false)
+}
+
+// faultSend applies the machine's fault plan (if any) to an outgoing
+// message: it reports whether the message must vanish and any logical
+// departure delay. On the clean path it is a single nil check.
+func (r *Rank) faultSend(dst int) (drop bool, delay float64) {
+	f := r.m.faults
+	if f == nil || dst == r.id {
+		return false, 0
+	}
+	return f.send(r.id, dst)
 }
 
 // SendOwned delivers data to rank dst with the given tag, transferring
@@ -390,6 +423,13 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 // receiver) without copying. The caller must not touch data afterwards.
 func (r *Rank) SendOwned(dst, tag int, data []float64) {
 	r.checkPeer(dst, "sends to")
+	if drop, delay := r.faultSend(dst); drop {
+		Release(data)
+		return
+	} else if delay > 0 {
+		r.m.t.SendAt(r.id, dst, tag, data, true, r.Now()+delay)
+		return
+	}
 	r.m.t.Send(r.id, dst, tag, data, true)
 }
 
@@ -409,6 +449,12 @@ func (r *Rank) Recv(src, tag int) []float64 {
 // operations uniformly.
 func (r *Rank) ISend(dst, tag int, data []float64) Request {
 	r.checkPeer(dst, "sends to")
+	if drop, delay := r.faultSend(dst); drop {
+		return completedRequest{at: r.Now()}
+	} else if delay > 0 {
+		r.m.t.SendAt(r.id, dst, tag, data, false, r.Now()+delay)
+		return completedRequest{at: r.Now()}
+	}
 	return r.m.t.ISend(r.id, dst, tag, data, false)
 }
 
@@ -416,6 +462,13 @@ func (r *Rank) ISend(dst, tag int, data []float64) Request {
 // transport; the caller must not touch data afterwards.
 func (r *Rank) ISendOwned(dst, tag int, data []float64) Request {
 	r.checkPeer(dst, "sends to")
+	if drop, delay := r.faultSend(dst); drop {
+		Release(data)
+		return completedRequest{at: r.Now()}
+	} else if delay > 0 {
+		r.m.t.SendAt(r.id, dst, tag, data, true, r.Now()+delay)
+		return completedRequest{at: r.Now()}
+	}
 	return r.m.t.ISend(r.id, dst, tag, data, true)
 }
 
@@ -439,12 +492,23 @@ func (r *Rank) IRecv(src, tag int) Request {
 // Send.
 func (r *Rank) SendAt(dst, tag int, data []float64, at float64) {
 	r.checkPeer(dst, "sends to")
+	if drop, delay := r.faultSend(dst); drop {
+		return
+	} else if delay > 0 {
+		at += delay
+	}
 	r.m.t.SendAt(r.id, dst, tag, data, false, at)
 }
 
 // SendOwnedAt is SendAt with zero-copy ownership transfer of data.
 func (r *Rank) SendOwnedAt(dst, tag int, data []float64, at float64) {
 	r.checkPeer(dst, "sends to")
+	if drop, delay := r.faultSend(dst); drop {
+		Release(data)
+		return
+	} else if delay > 0 {
+		at += delay
+	}
 	r.m.t.SendAt(r.id, dst, tag, data, true, at)
 }
 
@@ -463,6 +527,9 @@ func (r *Rank) Now() float64 {
 // transport can charge γ·flops to this rank's clock.
 func (r *Rank) Compute(flops int64) {
 	r.m.t.Compute(r.id, flops)
+	if f := r.m.faults; f != nil {
+		f.compute(r.m, r.id, flops)
+	}
 }
 
 // SendRecv sends sendData to dst and receives from src with the same tag,
@@ -476,10 +543,18 @@ func (r *Rank) SendRecv(dst int, sendData []float64, src, tag int) []float64 {
 // Barrier blocks until every rank of the machine has reached it. On the
 // timed transport the barrier max-propagates the logical clocks.
 func (r *Rank) Barrier() {
+	if f := r.m.faults; f != nil {
+		f.barrier(r.id)
+	}
 	if err := r.m.barrier.await(); err != nil {
-		panic(err)
+		panic(poisonedPanic{})
 	}
 }
+
+// poisonedPanic unwinds a rank released from a poisoned barrier; like
+// interruptedPanic it is collateral of another rank's failure, never
+// the root cause.
+type poisonedPanic struct{}
 
 func (r *Rank) checkPeer(peer int, verb string) {
 	if peer < 0 || peer >= r.m.P() {

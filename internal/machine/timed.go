@@ -16,13 +16,25 @@ type NetworkParams struct {
 	Alpha float64 // seconds per message (latency)
 	Beta  float64 // seconds per word (inverse bandwidth)
 	Gamma float64 // seconds per flop (inverse peak rate)
+
+	// Hierarchical extension (see Hierarchical). All fields are scalar
+	// so NetworkParams stays comparable — the engine's plan-cache key
+	// embeds it by value. Zero values mean a flat single-level network
+	// with exactly the cost surface above.
+	RanksPerNode int     // >0: ranks r, q share a node iff r/RanksPerNode == q/RanksPerNode
+	IntraAlpha   float64 // seconds per message on a same-node link
+	IntraBeta    float64 // seconds per word on a same-node link
+	Congestion   float64 // inter-node β multiplier (≤0 means 1)
 }
 
 // Time is the analytic evaluation of the model: the runtime of a rank
 // that computes flops, receives words and exchanges msgs messages with
-// no overlap.
+// no overlap. A hierarchical network charges the inter-node link
+// (α, congested β) — the analytic form has no per-message routing, so
+// it conservatively prices every word at the slowest level; the timed
+// transport, which knows src and dst, prices each link exactly.
 func (n NetworkParams) Time(flops, words, msgs float64) float64 {
-	return n.Gamma*flops + n.Beta*words + n.Alpha*msgs
+	return n.Gamma*flops + n.interBeta()*words + n.Alpha*msgs
 }
 
 // TimeOverlap is the analytic evaluation with full communication–
@@ -32,7 +44,7 @@ func (n NetworkParams) Time(flops, words, msgs float64) float64 {
 // form.
 func (n NetworkParams) TimeOverlap(flops, words, msgs float64) float64 {
 	compute := n.Gamma * flops
-	comms := n.Beta*words + n.Alpha*msgs
+	comms := n.interBeta()*words + n.Alpha*msgs
 	return math.Max(compute, comms)
 }
 
@@ -161,7 +173,7 @@ func newTimed(p int, net NetworkParams) *timed {
 // counting transport's accounting.
 func (t *timed) Send(src, dst, tag int, data []float64, owned bool) {
 	if src != dst {
-		t.clock[src] += t.net.Alpha
+		t.clock[src] += t.net.LinkAlpha(src, dst)
 		if t.clock[src] > t.egress[src] {
 			t.egress[src] = t.clock[src]
 		}
@@ -182,11 +194,12 @@ func (t *timed) SendAt(src, dst, tag int, data []float64, owned bool, at float64
 		t.post(src, dst, tag, data, owned, t.clock[src])
 		return
 	}
-	t.clock[src] += t.net.Alpha
+	alpha := t.net.LinkAlpha(src, dst)
+	t.clock[src] += alpha
 	if t.egress[src] > at {
 		at = t.egress[src]
 	}
-	dep := at + t.net.Alpha
+	dep := at + alpha
 	t.egress[src] = dep
 	t.post(src, dst, tag, data, owned, dep)
 }
@@ -235,7 +248,7 @@ func (t *timed) land(dst, src int, e envelope, post float64) float64 {
 	if post > start {
 		start = post
 	}
-	done := start + t.net.Beta*float64(len(e.data))
+	done := start + t.net.LinkBeta(src, dst)*float64(len(e.data))
 	t.ingress[dst] = done
 	if done > t.clock[dst] {
 		t.clock[dst] = done
@@ -270,6 +283,13 @@ func (t *timed) BarrierSync() {
 			t.egress[i] = max
 		}
 	}
+}
+
+// SkewClock implements clockSkewer: an injected straggler (SlowRank)
+// stretches this rank's logical clock by extra seconds of compute.
+// Called only from the rank's own program goroutine, like Compute.
+func (t *timed) SkewClock(rank int, seconds float64) {
+	t.clock[rank] += seconds
 }
 
 // Reset implements Transport.

@@ -43,6 +43,11 @@ const (
 	// maxFrameWords bounds a single payload (2^27 words = 1 GiB); a
 	// larger length prefix means a corrupt or foreign stream.
 	maxFrameWords = 1 << 27
+
+	// maxScratchBytes bounds the reusable byte buffer payloads are read
+	// through: readFrame decodes chunk by chunk, so the scratch never
+	// grows with the claimed payload length.
+	maxScratchBytes = 64 << 10
 )
 
 // Frame kinds.
@@ -122,16 +127,39 @@ func readFrame(r io.Reader, scratch []byte) (frame, []byte, error) {
 	if words == 0 {
 		return f, scratch, nil
 	}
-	if cap(scratch) < 8*words {
-		scratch = make([]byte, 8*words)
+	// The payload is read in bounded chunks, and the words-sized output
+	// buffer is loaned only after the first chunk actually arrived: a
+	// corrupt or hostile stream claiming a maximal payload and then
+	// hanging up costs at most one chunk of scratch, not a 1 GiB
+	// allocation.
+	chunk := 8 * words
+	if chunk > maxScratchBytes {
+		chunk = maxScratchBytes
 	}
-	raw := scratch[:8*words]
-	if _, err := io.ReadFull(r, raw); err != nil {
-		return frame{}, scratch, fmt.Errorf("wire: truncated %d-word payload: %w", words, err)
+	if cap(scratch) < chunk {
+		scratch = make([]byte, chunk)
 	}
-	f.payload = machine.Loan(words)
-	for i := range f.payload {
-		f.payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	var payload []float64
+	for off := 0; off < words; {
+		n := words - off
+		if 8*n > chunk {
+			n = chunk / 8
+		}
+		raw := scratch[:8*n]
+		if _, err := io.ReadFull(r, raw); err != nil {
+			if payload != nil {
+				machine.Release(payload)
+			}
+			return frame{}, scratch, fmt.Errorf("wire: truncated %d-word payload: %w", words, err)
+		}
+		if payload == nil {
+			payload = machine.Loan(words)
+		}
+		for i := 0; i < n; i++ {
+			payload[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		off += n
 	}
+	f.payload = payload
 	return f, scratch, nil
 }

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cosma"
+)
+
+// FuzzMultiplyHandler throws arbitrary bodies at POST /v1/multiply
+// through a real server with a tiny admission bound. The invariants:
+// the handler never panics, never hangs, and always answers one of
+// the documented statuses — 200 for a well-formed multiplication,
+// 400 for garbage, 429 when shedding, 503 while draining.
+func FuzzMultiplyHandler(f *testing.F) {
+	srv, err := New(Options{
+		Engine: []cosma.Option{cosma.WithProcs(2), cosma.WithMemory(1 << 10)},
+		Shards: 1,
+		MaxDim: 8, // keeps a fuzzed 200 response to a handful of flops
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(srv))
+	f.Cleanup(ts.Close)
+
+	f.Add([]byte(`{"m":2,"n":2,"k":2,"a":[1,2,3,4],"b":[5,6,7,8]}`))
+	f.Add([]byte(`{"m":1,"n":1,"k":1,"a":[2],"b":[3]}`))
+	f.Add([]byte(`{"m":0,"n":0,"k":0}`))
+	f.Add([]byte(`{"m":-1,"n":2,"k":2,"a":[],"b":[]}`))
+	f.Add([]byte(`{"m":2,"n":2,"k":2,"a":[1],"b":[1]}`)) // wrong payload length
+	f.Add([]byte(`{"m":9,"n":9,"k":9,"a":[1],"b":[1]}`)) // beyond MaxDim
+	f.Add([]byte(`{"m":1e9,"n":1e9,"k":1e9}`))           // huge dims, no payload
+	f.Add([]byte(`{"a":[1,2],"b":`))                     // truncated JSON
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"m":2,"n":2,"k":2,"a":[1,null,3,4],"b":[5,6,7,8]}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := http.Post(ts.URL+"/v1/multiply", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error: %v", err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusBadRequest,
+			http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("status %d for body %q", resp.StatusCode, body)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cosma/internal/workload"
+)
+
+// ReplayConfig drives Replay: a seeded workload trace fired open-loop
+// at an HTTP endpoint speaking the /v1/multiply protocol.
+type ReplayConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests; nil uses http.DefaultClient.
+	Client *http.Client
+	// Speedup divides every arrival offset, compressing the trace's
+	// wall-clock span (10 plays a 5 s trace in 0.5 s); ≤0 means 1.
+	Speedup float64
+	// NoPace fires all arrivals immediately instead of honoring the
+	// trace's offsets — a closed burst rather than an open-loop replay.
+	NoPace bool
+}
+
+// ReplayStats summarizes one replay. Offered counts multiplications
+// (a Batch-3 arrival offers 3); latency percentiles cover completed
+// requests of any status.
+type ReplayStats struct {
+	Offered    int           `json:"offered"`
+	OK         int           `json:"ok"`     // HTTP 200
+	Shed       int           `json:"shed"`   // HTTP 429
+	Failed     int           `json:"failed"` // transport errors and other statuses
+	Wall       time.Duration `json:"wall_ns"`
+	Throughput float64       `json:"throughput_rps"` // OK / Wall
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+}
+
+// Replay plays a workload trace against cfg.BaseURL: every arrival is
+// fired at its (speedup-scaled) offset without waiting for earlier
+// requests — open-loop, so server slowdowns surface as latency and
+// shed counts instead of silently throttling the load. Request bodies
+// are prebuilt per catalog shape, so replay-side work during the timed
+// window is just HTTP. Returns when every request has completed;
+// cancelling ctx abandons pacing early.
+func Replay(ctx context.Context, cfg ReplayConfig, catalog []workload.Dims, trace []workload.Request) (ReplayStats, error) {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	speedup := cfg.Speedup
+	if speedup <= 0 {
+		speedup = 1
+	}
+	bodies, err := buildBodies(catalog)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	url := cfg.BaseURL + "/v1/multiply"
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		stats     ReplayStats
+		latencies []time.Duration
+	)
+	fire := func(shape int) {
+		defer wg.Done()
+		t0 := time.Now()
+		status, err := postBody(ctx, client, url, bodies[shape])
+		lat := time.Since(t0)
+		mu.Lock()
+		defer mu.Unlock()
+		latencies = append(latencies, lat)
+		switch {
+		case err != nil:
+			stats.Failed++
+		case status == http.StatusOK:
+			stats.OK++
+		case status == http.StatusTooManyRequests:
+			stats.Shed++
+		default:
+			stats.Failed++
+		}
+	}
+
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+pacing:
+	for _, req := range trace {
+		if !cfg.NoPace {
+			at := time.Duration(float64(req.At) / speedup)
+			if wait := at - time.Since(start); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					break pacing
+				}
+			}
+		}
+		for i := 0; i < req.Batch; i++ {
+			stats.Offered++
+			wg.Add(1)
+			go fire(req.Shape)
+		}
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+	if stats.Wall > 0 {
+		stats.Throughput = float64(stats.OK) / stats.Wall.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		stats.P50 = latencies[n/2]
+		stats.P99 = latencies[n*99/100]
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// buildBodies pre-encodes one MultiplyRequest per catalog shape. The
+// payload values are deterministic ramps — cheap to generate, and
+// verifiable by spot-checking the product server-side.
+func buildBodies(catalog []workload.Dims) ([][]byte, error) {
+	bodies := make([][]byte, len(catalog))
+	for i, d := range catalog {
+		a := make([]float64, d.M*d.K)
+		for j := range a {
+			a[j] = float64(j%17) * 0.25
+		}
+		b := make([]float64, d.K*d.N)
+		for j := range b {
+			b[j] = float64(j%13) * 0.5
+		}
+		body, err := json.Marshal(MultiplyRequest{M: d.M, N: d.N, K: d.K, A: a, B: b})
+		if err != nil {
+			return nil, fmt.Errorf("serve: encoding catalog shape %d: %w", i, err)
+		}
+		bodies[i] = body
+	}
+	return bodies, nil
+}
+
+func postBody(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Same seed ⇒ same trace, byte for byte; different seed ⇒ different.
+func TestGeneratorSeededDeterminism(t *testing.T) {
+	cfg := GenConfig{Seed: 42, Shapes: 12}
+	a := NewGenerator(cfg).Trace(500)
+	b := NewGenerator(cfg).Trace(500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must reproduce the identical trace")
+	}
+	if !reflect.DeepEqual(NewGenerator(cfg).Catalog(), NewGenerator(cfg).Catalog()) {
+		t.Fatal("same seed must reproduce the identical catalog")
+	}
+	c := NewGenerator(GenConfig{Seed: 43, Shapes: 12}).Trace(500)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// Lemire bounded sampling must be uniform: a chi-squared test over a
+// bound that does NOT divide 2³² (the case where naive modulo biases).
+func TestUint32nUnbiased(t *testing.T) {
+	const n, draws = 10, 200000
+	rng := NewRNG(7)
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		v := rng.Uint32n(n)
+		if v >= n {
+			t.Fatalf("Uint32n(%d) = %d out of range", n, v)
+		}
+		counts[v]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom: P(chi2 > 27.9) ≈ 0.001. A biased modulo
+	// draw at this sample size lands in the thousands.
+	if chi2 > 27.9 {
+		t.Fatalf("Uint32n distribution chi² = %.1f (df=9), counts %v", chi2, counts)
+	}
+}
+
+// Empirical Zipf frequencies must track the analytic probabilities.
+func TestZipfEmpiricalFrequencies(t *testing.T) {
+	const n, draws = 16, 100000
+	z := NewZipf(n, 1.1)
+	rng := NewRNG(99)
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for i := 0; i < n; i++ {
+		want := z.P(i)
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.02+0.15*want {
+			t.Fatalf("rank %d: empirical %.4f vs analytic %.4f", i, got, want)
+		}
+	}
+	// Rank 0 must dominate the tail — the property that stresses an LRU.
+	if counts[0] <= counts[n-1]*3 {
+		t.Fatalf("Zipf head %d not dominating tail %d", counts[0], counts[n-1])
+	}
+}
+
+// Every trace invariant the replay layer relies on.
+func TestTraceInvariants(t *testing.T) {
+	cfg := GenConfig{Seed: 1, Shapes: 8, MinDim: 16, MaxDim: 128, BatchMax: 3}
+	g := NewGenerator(cfg)
+	cat := g.Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalog size %d", len(cat))
+	}
+	for i, d := range cat {
+		if d.M < 16 || d.N < 16 || d.K < 16 || d.M > 128 || d.N > 128 || d.K > 128 {
+			t.Fatalf("catalog[%d] = %v outside [16,128]", i, d)
+		}
+	}
+	// The four aspect classes must all be present.
+	if d := cat[1]; d.M != d.N || d.K < d.M {
+		t.Fatalf("catalog[1] = %v is not inner-product-shaped (m=n≤k)", d)
+	}
+	if d := cat[2]; d.N != d.K || d.M < d.N {
+		t.Fatalf("catalog[2] = %v is not tall-skinny (m≥n=k)", d)
+	}
+	if d := cat[3]; d.M != d.N || d.K > d.M {
+		t.Fatalf("catalog[3] = %v is not flat (m=n≥k)", d)
+	}
+	prev := time.Duration(0)
+	for _, r := range g.Trace(2000) {
+		if r.At < prev {
+			t.Fatal("arrival offsets must be non-decreasing")
+		}
+		prev = r.At
+		if r.Shape < 0 || r.Shape >= 8 {
+			t.Fatalf("shape index %d out of catalog", r.Shape)
+		}
+		if r.Dims != cat[r.Shape] {
+			t.Fatalf("dims %v disagree with catalog[%d] = %v", r.Dims, r.Shape, cat[r.Shape])
+		}
+		if r.Batch < 1 || r.Batch > 3 {
+			t.Fatalf("batch %d outside [1,%d]", r.Batch, 3)
+		}
+	}
+}
+
+// The on/off modulation must actually modulate: mean arrival rate over
+// the whole trace sits strictly between the off rate and the on rate.
+func TestTraceBurstyArrivals(t *testing.T) {
+	cfg := GenConfig{Seed: 5, Rate: 1000, BurstFactor: 8, Period: 100 * time.Millisecond}
+	g := NewGenerator(cfg)
+	trace := g.Trace(20000)
+	mean := float64(len(trace)) / trace[len(trace)-1].At.Seconds()
+	if mean < 1.5*cfg.Rate || mean > 7.0*cfg.Rate {
+		t.Fatalf("mean rate %.0f/s not between off rate %.0f and on rate %.0f",
+			mean, cfg.Rate, cfg.Rate*cfg.BurstFactor)
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	g := NewGenerator(GenConfig{})
+	if len(g.Catalog()) != 16 {
+		t.Fatalf("default catalog size %d", len(g.Catalog()))
+	}
+	r := g.Next()
+	if r.Batch < 1 || r.Dims.M < 1 {
+		t.Fatalf("default draw %+v", r)
+	}
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -89,6 +90,88 @@ func TestGeneratePropertyPositiveDims(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The exact dimension formulas from the Figure 6–11 captions, pinned
+// per regime so a refactor of Generate cannot silently drift them.
+
+func TestSquareLimitedMemoryFormula(t *testing.T) {
+	// Limited memory: the three n² input/output panels fill pS exactly,
+	// so n = √(pS/3).
+	for _, p := range CoreCounts() {
+		c := Generate(Square, LimitedMemory, p)
+		want := int(math.Sqrt(float64(p) * float64(MemoryWordsPerCore) / 3))
+		if c.M != want || c.N != want || c.K != want {
+			t.Fatalf("p=%d: square limited dims %v, want n=√(pS/3)=%d", p, c, want)
+		}
+		if 3*float64(c.N)*float64(c.N) > float64(p)*float64(c.S) {
+			t.Fatalf("p=%d: limited-memory input 3n² exceeds aggregate memory pS", p)
+		}
+	}
+}
+
+func TestSquareExtraMemoryFormula(t *testing.T) {
+	// Extra memory: n = √(p^{2/3}·S/3), leaving a p^{1/3} replication
+	// factor of spare aggregate memory.
+	for _, p := range CoreCounts() {
+		c := Generate(Square, ExtraMemory, p)
+		want := int(math.Sqrt(math.Pow(float64(p), 2.0/3.0) * float64(MemoryWordsPerCore) / 3))
+		if c.N != want {
+			t.Fatalf("p=%d: square extra n=%d, want √(p^(2/3)S/3)=%d", p, c.N, want)
+		}
+	}
+}
+
+func TestLargeKWeakScalingFormulas(t *testing.T) {
+	for _, p := range CoreCounts() {
+		pf := float64(p)
+		lim := Generate(LargeK, LimitedMemory, p)
+		if want := int(979 * math.Cbrt(pf)); lim.M != want || lim.N != want {
+			t.Fatalf("p=%d: largeK limited m=%d, want 979·p^(1/3)=%d", p, lim.M, want)
+		}
+		if want := int(1.184 * 979 * math.Pow(pf, 2.0/3.0)); lim.K != want {
+			t.Fatalf("p=%d: largeK limited k=%d, want 1.184·979·p^(2/3)=%d", p, lim.K, want)
+		}
+		ex := Generate(LargeK, ExtraMemory, p)
+		if want := int(979 * math.Pow(pf, 2.0/9.0)); ex.M != want {
+			t.Fatalf("p=%d: largeK extra m=%d, want 979·p^(2/9)=%d", p, ex.M, want)
+		}
+		if want := int(1.184 * 979 * math.Pow(pf, 4.0/9.0)); ex.K != want {
+			t.Fatalf("p=%d: largeK extra k=%d, want 1.184·979·p^(4/9)=%d", p, ex.K, want)
+		}
+	}
+}
+
+func TestFlatRegimeFormulas(t *testing.T) {
+	if c := Generate(Flat, StrongScaling, 128); c.M != 131072 || c.N != 131072 || c.K != 512 {
+		t.Fatalf("flat strong dims %v, want 131072×131072×512", c)
+	}
+	for _, p := range CoreCounts() {
+		lim := Generate(Flat, LimitedMemory, p)
+		want := int(math.Sqrt(float64(p) * float64(MemoryWordsPerCore) / 3))
+		if lim.M != want || lim.N != want || lim.K != 256 {
+			t.Fatalf("p=%d: flat limited %v, want m=n=√(pS/3)=%d, k=256", p, lim, want)
+		}
+		ex := Generate(Flat, ExtraMemory, p)
+		wantEx := int(math.Sqrt(math.Pow(float64(p), 2.0/3.0) * float64(MemoryWordsPerCore) / 3))
+		if ex.M != wantEx || ex.K != 256 {
+			t.Fatalf("p=%d: flat extra %v, want m=n=%d, k=256", p, ex, wantEx)
+		}
+	}
+}
+
+func TestLargeKLimitedMemoryKeepsWordsPerCore(t *testing.T) {
+	// The weak-scaling law: with m=n ∝ p^{1/3} and k ∝ p^{2/3}, the
+	// dominant mk+nk input grows ∝ p, so words per core stay flat up to
+	// the subdominant mn = m² ∝ p^{2/3} term (≈ 8% at p=128, shrinking
+	// as p^{-1/3}).
+	r0 := Generate(LargeK, LimitedMemory, 128)
+	r1 := Generate(LargeK, LimitedMemory, 8192)
+	c0 := float64(r0.P) * float64(r0.S) / r0.InputWords()
+	c1 := float64(r1.P) * float64(r1.S) / r1.InputWords()
+	if c0/c1 > 1.10 || c1/c0 > 1.10 {
+		t.Fatalf("largeK limited-memory words/core drift: %v vs %v", c0, c1)
 	}
 }
 

@@ -27,6 +27,9 @@ type Plan struct {
 	// recvTimeout bounds blocking receives and barrier waits of the
 	// plan's executors (WithRecvTimeout); 0 waits indefinitely.
 	recvTimeout time.Duration
+	// faults, when non-nil, is the engine's fault plan (WithFaultPlan),
+	// installed on every executor machine the plan builds.
+	faults *machine.FaultPlan
 	// sharedMach, when set, is the engine's wire-transport machine every
 	// executor of this plan runs on (the mesh is one per process, so
 	// executors cannot each own one); execMu serializes executions on
@@ -93,10 +96,12 @@ func (p *Plan) NewExecutor() *Executor {
 		Autotune:      p.autotune,
 		RecvTimeout:   p.recvTimeout,
 		Machine:       p.sharedMach,
+		Faults:        p.faults,
 	})
 	if err != nil {
-		// Unreachable: Engine.Plan validates the wire gather gate and
-		// the shared machine's rank count before building the plan.
+		// Unreachable: Engine.Plan validates the wire gather gate, the
+		// shared machine's rank count and the fault plan's rank bounds
+		// before building the plan.
 		panic(err)
 	}
 	return &Executor{plan: p, inner: inner}
