@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race test-noasm bench-overlap bench-overlap-smoke bench-kernel bench-kernel-smoke bench-wire bench-wire-smoke bench-load bench-load-smoke fault-conformance fuzz-smoke
+.PHONY: build test race test-noasm bench-overlap bench-overlap-smoke bench-kernel bench-kernel-smoke bench-wire bench-wire-smoke bench-load bench-load-smoke bench-chaos bench-chaos-smoke fault-conformance fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,22 @@ bench-load:
 # best-of-2 so the shared runner finishes quickly.
 bench-load-smoke:
 	$(GO) run ./cmd/benchload -requests 150 -reps 2 -out BENCH_load.json -guard-hit 0.7 -guard-overhead 50
+
+# bench-chaos emits BENCH_chaos.json: recovery rate and mean attempt
+# count over runs that each inject a first-attempt rank death under a
+# WithRetry policy, the faulty/clean wall-clock ratio (the latency price
+# of surviving a fault, backoff included), and the ABFT verification
+# overhead with a bitwise-identity check on the verified product. The
+# guard is deterministic: the fault script is seeded and every injected
+# death must be survived, so any recovery rate below 1.0 is a real
+# regression in the retry/recover path, never runner noise.
+bench-chaos:
+	$(GO) run ./cmd/benchchaos -procs 8 -size 256 -runs 20 -out BENCH_chaos.json -guard-recovery 1.0
+
+# The CI smoke: identical artifact and guard, smaller shape and fewer
+# runs so the shared runner finishes quickly.
+bench-chaos-smoke:
+	$(GO) run ./cmd/benchchaos -procs 4 -size 128 -runs 8 -out BENCH_chaos.json -guard-recovery 1.0
 
 # fault-conformance runs the transport-semantics suite's fault-injection
 # section under -race on all three transports: every injected failure

@@ -1,0 +1,185 @@
+// Command benchchaos measures the fault-tolerance stack end to end and
+// emits the result as JSON — the artifact CI archives as
+// BENCH_chaos.json and gates on:
+//
+//	benchchaos [-procs 8] [-size 256] [-runs 20] [-seed 1]
+//	           [-out BENCH_chaos.json] [-guard-recovery 1.0]
+//
+// Each faulty run builds a fresh engine with a scripted first-attempt
+// rank death (a fresh engine is required: OnAttempt gating counts runs
+// since the plan was installed, so only a machine's first-ever run sees
+// an OnAttempt:1 fault) plus a WithRetry policy, and must recover by
+// re-running. The run is charged end to end — failed attempt, backoff,
+// retry — so the faulty/clean wall-clock ratio is the real latency cost
+// of surviving a fault. A separate pass times WithVerification to price
+// the ABFT checksums, and checks the verified product is bitwise
+// identical to an unverified one. With -guard-recovery g > 0 the
+// program exits non-zero if the recovery rate falls below g — the CI
+// smoke runs with g = 1.0: every injected fault must be survived.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cosma"
+)
+
+// result is the whole benchmark's measurement, serialized into the JSON
+// artifact.
+type result struct {
+	Procs        int     `json:"procs"`
+	Size         int     `json:"size"` // square problem size (m = n = k)
+	Runs         int     `json:"runs"` // faulty runs attempted
+	Recovered    int     `json:"recovered"`
+	RecoveryRate float64 `json:"recovery_rate"` // recovered / runs
+	MeanAttempts float64 `json:"mean_attempts"` // over recovered runs
+	CleanMs      float64 `json:"clean_ms"`      // mean fault-free Exec
+	FaultyMs     float64 `json:"faulty_ms"`     // mean Exec incl. fault+retry
+	// RetryOverhead is faulty/clean wall-clock: the latency price of one
+	// injected death plus the backoff and re-run that survive it.
+	RetryOverhead float64 `json:"retry_overhead_factor"`
+	VerifyMs      float64 `json:"verify_ms"` // mean Exec with ABFT on
+	// VerifyOverhead is verify/clean wall-clock: the price of the
+	// O(mn+nk+mk) Huang–Abraham checksum passes on a clean run.
+	VerifyOverhead   float64 `json:"verify_overhead_factor"`
+	VerifiedIdentity bool    `json:"verified_bitwise_identical"`
+	GuardRecovery    float64 `json:"guard_recovery,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchchaos: ")
+	procs := flag.Int("procs", 8, "simulated ranks p")
+	size := flag.Int("size", 256, "square problem size (m = n = k)")
+	runs := flag.Int("runs", 20, "faulty runs (each on a fresh engine)")
+	seed := flag.Int64("seed", 1, "base seed for matrices and retry jitter")
+	out := flag.String("out", "BENCH_chaos.json", "output JSON path ('-' for stdout)")
+	guard := flag.Float64("guard-recovery", 1.0,
+		"fail if the recovery rate falls below this fraction (0 disables)")
+	flag.Parse()
+
+	r, err := measure(*procs, *size, *runs, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.GuardRecovery = *guard
+	log.Printf("p=%d n=%d: recovered %d/%d (%.0f%%), mean attempts %.2f",
+		r.Procs, r.Size, r.Recovered, r.Runs, 100*r.RecoveryRate, r.MeanAttempts)
+	log.Printf("clean %.2fms, faulty %.2fms (%.2fx), verified %.2fms (%.2fx, bitwise identical: %v)",
+		r.CleanMs, r.FaultyMs, r.RetryOverhead, r.VerifyMs, r.VerifyOverhead, r.VerifiedIdentity)
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	if !r.VerifiedIdentity {
+		log.Fatal("guard failed: the verified product is not bitwise identical to the unverified one")
+	}
+	if *guard > 0 && r.RecoveryRate < *guard {
+		log.Fatalf("guard failed: recovery rate %.2f below %.2f", r.RecoveryRate, *guard)
+	}
+}
+
+// measure runs the three passes — clean, faulty-with-retry, verified —
+// on one problem shape. Every run gets a fresh engine: for the faulty
+// pass that is what re-arms the OnAttempt:1 fault, and keeping the
+// clean and verified passes on the same footing makes the overhead
+// ratios compare like with like (plan + pool built each run).
+func measure(procs, size, runs int, seed int64) (result, error) {
+	a := cosma.RandomMatrix(size, size, seed)
+	b := cosma.RandomMatrix(size, size, seed+1)
+	mem := 3 * size * size / procs
+	base := []cosma.Option{cosma.WithProcs(procs), cosma.WithMemory(mem)}
+
+	run := func(extra ...cosma.Option) (*cosma.Matrix, *cosma.Report, float64, error) {
+		eng, err := cosma.NewEngine(append(append([]cosma.Option{}, base...), extra...)...)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		defer eng.Close()
+		start := time.Now()
+		c, rep, err := eng.Exec(context.Background(), a, b)
+		return c, rep, time.Since(start).Seconds(), err
+	}
+
+	r := result{Procs: procs, Size: size, Runs: runs}
+
+	var want *cosma.Matrix
+	var cleanSec float64
+	for i := 0; i < runs; i++ {
+		c, _, sec, err := run()
+		if err != nil {
+			return result{}, fmt.Errorf("clean run %d: %w", i, err)
+		}
+		cleanSec += sec
+		want = c
+	}
+	r.CleanMs = 1e3 * cleanSec / float64(runs)
+
+	var faultySec, attempts float64
+	for i := 0; i < runs; i++ {
+		c, rep, sec, err := run(
+			cosma.WithFaultPlan(cosma.FaultPlan{Deaths: []cosma.RankDeath{
+				{Rank: 1 + i%(procs-1), Round: 0, OnAttempt: 1},
+			}}),
+			cosma.WithRetry(cosma.RetryPolicy{MaxAttempts: 3, Seed: seed + int64(i)}),
+		)
+		if err != nil {
+			log.Printf("faulty run %d: not recovered: %v", i, err)
+			continue
+		}
+		if !bitwiseEqual(c, want) {
+			return result{}, fmt.Errorf("faulty run %d: recovered product differs bitwise", i)
+		}
+		r.Recovered++
+		faultySec += sec
+		attempts += float64(rep.Attempts)
+	}
+	r.RecoveryRate = float64(r.Recovered) / float64(runs)
+	if r.Recovered > 0 {
+		r.FaultyMs = 1e3 * faultySec / float64(r.Recovered)
+		r.MeanAttempts = attempts / float64(r.Recovered)
+		r.RetryOverhead = r.FaultyMs / r.CleanMs
+	}
+
+	var verifySec float64
+	r.VerifiedIdentity = true
+	for i := 0; i < runs; i++ {
+		c, _, sec, err := run(cosma.WithVerification(true))
+		if err != nil {
+			return result{}, fmt.Errorf("verified run %d: %w", i, err)
+		}
+		verifySec += sec
+		if !bitwiseEqual(c, want) {
+			r.VerifiedIdentity = false
+		}
+	}
+	r.VerifyMs = 1e3 * verifySec / float64(runs)
+	r.VerifyOverhead = r.VerifyMs / r.CleanMs
+	return r, nil
+}
+
+func bitwiseEqual(got, want *cosma.Matrix) bool {
+	if len(got.Data) != len(want.Data) {
+		return false
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -8,10 +8,19 @@
 //	cosmad [-addr :8642] [-p 4] [-S 1048576] [-algo cosma]
 //	       [-shards 4] [-queue 256] [-window 2ms] [-batch 32]
 //	       [-maxdim 8192] [-threads n] [-tune] [-overlap]
+//	       [-retry 0] [-verify] [-fallback]
+//	       [-breaker-threshold 5] [-breaker-cooldown 5s] [-retry-budget 0.1]
 //	       [-drain-timeout 30s]
 //
-// Endpoints: POST /v1/multiply (JSON in/out), GET /v1/stats,
-// GET /healthz (503 while draining).
+// Endpoints: POST /v1/multiply (JSON in/out; honors X-Cosma-Deadline-Ms),
+// GET /v1/stats, GET /healthz (503 while draining).
+//
+// Fault tolerance: -retry re-runs transiently-failed executions inside
+// the engine, -verify checks every product with ABFT checksums, and a
+// per-shard circuit breaker opens after -breaker-threshold consecutive
+// batch failures — while open, batches degrade to a plain in-process
+// fallback engine when -fallback is set, else shed with 503 until the
+// -breaker-cooldown probe succeeds.
 //
 // Load generator (client mode, against a running cosmad):
 //
@@ -66,6 +75,12 @@ func main() {
 	threads := flag.Int("threads", 0, "per-rank GEMM kernel workers (0 = GOMAXPROCS-aware)")
 	tune := flag.Bool("tune", false, "autotune rank-kernel block sizes")
 	overlap := flag.Bool("overlap", false, "pipeline the round loops (§7.3)")
+	retry := flag.Int("retry", 0, "engine retry attempts per execution (0 = no retries)")
+	verify := flag.Bool("verify", false, "ABFT-verify every product (cosma.WithVerification)")
+	fallback := flag.Bool("fallback", false, "serve open-circuit shards from a degraded in-process engine")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive batch failures that open a shard's circuit (<0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit dwell before a probe")
+	retryBudget := flag.Float64("retry-budget", 0.1, "retry-budget tokens accrued per admitted request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 
 	loadgen := flag.String("loadgen", "", "client mode: drive load at this cosmad base URL instead of serving")
@@ -89,17 +104,35 @@ func main() {
 		return
 	}
 
-	srv, err := serve.New(serve.Options{
-		Engine: []cosma.Option{
+	engineOpts := []cosma.Option{
+		cosma.WithProcs(*p), cosma.WithMemory(*s), cosma.WithAlgorithm(*algoName),
+		cosma.WithKernelThreads(*threads), cosma.WithAutotune(*tune), cosma.WithOverlap(*overlap),
+		cosma.WithVerification(*verify),
+	}
+	if *retry > 0 {
+		engineOpts = append(engineOpts, cosma.WithRetry(cosma.RetryPolicy{MaxAttempts: *retry}))
+	}
+	sopts := serve.Options{
+		Engine:           engineOpts,
+		Shards:           *shards,
+		QueueLimit:       *queue,
+		BatchWindow:      *window,
+		MaxBatch:         *batch,
+		MaxDim:           *maxDim,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		RetryBudgetRatio: *retryBudget,
+	}
+	if *fallback {
+		// The degraded stand-in: same shape limits, plain counting
+		// transport, no retries — it exists to keep answering while a
+		// sick shard cools off.
+		sopts.Fallback = []cosma.Option{
 			cosma.WithProcs(*p), cosma.WithMemory(*s), cosma.WithAlgorithm(*algoName),
-			cosma.WithKernelThreads(*threads), cosma.WithAutotune(*tune), cosma.WithOverlap(*overlap),
-		},
-		Shards:      *shards,
-		QueueLimit:  *queue,
-		BatchWindow: *window,
-		MaxBatch:    *batch,
-		MaxDim:      *maxDim,
-	})
+			cosma.WithKernelThreads(*threads),
+		}
+	}
+	srv, err := serve.New(sopts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,8 +163,8 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	st := srv.Stats()
-	log.Printf("served %d requests in %d batches (max batch %d), shed %d; plan cache %d hits / %d misses",
-		st.Requests, st.Batches, st.MaxBatch, st.Shed, st.PlanHits, st.PlanMisses)
+	log.Printf("served %d requests in %d batches (max batch %d), shed %d; plan cache %d hits / %d misses; %d retries, %d fallback batches",
+		st.Requests, st.Batches, st.MaxBatch, st.Shed, st.PlanHits, st.PlanMisses, st.Retries, st.FallbackBatches)
 }
 
 // runLoadgen drives a seeded Zipfian request stream at a cosmad

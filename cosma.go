@@ -130,6 +130,18 @@ type MessageDelay = machine.MessageDelay
 // charge on the timed transport, PerCompute adds a real stall.
 type SlowRank = machine.SlowRank
 
+// Corrupt silently flips or scales one word of a message on the
+// Src→Dst link after the first After messages — a silent data
+// corruption that no transport-level check notices, detectable only
+// by ABFT verification (WithVerification).
+type Corrupt = machine.Corrupt
+
+// ErrPeerFailure is wrapped by wire-transport run errors caused by a
+// lost or aborted peer process; test with errors.Is. Engine.Recover
+// (or a WithRetry policy, which calls it automatically) heals the
+// mesh afterwards.
+var ErrPeerFailure = wire.ErrPeerFailure
+
 // ErrFaultInjected is wrapped by run errors caused by a FaultPlan
 // rank death; test with errors.Is.
 var ErrFaultInjected = machine.ErrFaultInjected

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cosma/internal/algo"
@@ -40,6 +41,13 @@ type Engine struct {
 	wireTr   *wire.Transport
 	wireMach *machine.Machine
 	wireMu   sync.Mutex
+
+	// closed flips once Close is called; in-flight retry loops observe
+	// it between attempts and bail with ErrEngineClosed instead of
+	// re-running on a transport being torn down.
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // chanMutex is a context-aware mutex: Plan holds it across a cache miss
@@ -87,6 +95,8 @@ type engineConfig struct {
 	wireCfg       *wire.Config
 	recvTimeout   time.Duration
 	faults        *machine.FaultPlan
+	retry         *RetryPolicy
+	verify        bool
 	err           error // first option error, surfaced by NewEngine
 }
 
@@ -261,6 +271,46 @@ func WithFaultPlan(fp FaultPlan) Option {
 	}
 }
 
+// WithRetry makes Exec and MultiplyBatch survive transient faults:
+// when a run fails with a retryable error — an injected fault
+// (ErrFaultInjected), a receive deadline (ErrRecvTimeout), a wire peer
+// failure or abort (ErrPeerFailure), or a detected silent corruption
+// (ErrCorruption, with WithVerification) — the engine recovers the
+// transport (on wire: Engine.Recover, re-execing dead workers and
+// rebuilding lost connections), sleeps a capped exponential backoff
+// with seeded jitter, and re-runs on the same executor, up to
+// policy.MaxAttempts total attempts. Per-rank scratch resets between
+// attempts as it does between any two runs, so a retried product is
+// bitwise-identical to a fault-free one. Permanent errors — validation,
+// context cancellation, a closed engine — are never retried. The
+// successful Report carries the attempt count in Attempts.
+func WithRetry(policy RetryPolicy) Option {
+	return func(c *engineConfig) {
+		if policy.MaxAttempts < 0 || policy.BaseBackoff < 0 || policy.MaxBackoff < 0 {
+			c.err = fmt.Errorf("cosma: retry policy fields must be ≥ 0")
+			return
+		}
+		c.retry = &policy
+	}
+}
+
+// WithVerification appends Huang–Abraham ABFT checksums to every
+// execution: the row sums of the product must equal A·(B·e) and the
+// column sums (eᵀ·A)·B, so any silent corruption of the communicated
+// panels or the gathered result — including a machine.Corrupt fault —
+// surfaces as ErrCorruption instead of a wrong answer. The check costs
+// O(mn + mk + nk), asymptotically free next to the O(mnk) multiply,
+// and never perturbs the product: a clean verified run is
+// bitwise-identical to an unverified one. Combined with WithRetry, a
+// detected corruption triggers a re-run on in-process (and wire
+// loopback) engines; on a multi-process wire mesh only the process
+// hosting rank 0 holds the gathered product, so it verifies alone and
+// reports ErrCorruption without retrying (its peers saw a clean run
+// and would not re-run with it).
+func WithVerification(on bool) Option {
+	return func(c *engineConfig) { c.verify = on }
+}
+
 // WithPlanCacheSize bounds the LRU plan cache to n distinct shapes
 // (default 64, minimum 1).
 func WithPlanCacheSize(n int) Option {
@@ -331,15 +381,44 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	return e, nil
 }
 
-// Close tears down the engine's wire transport, if any: the listener
-// and every peer connection are closed and ranks parked in a receive
-// are woken. Engines without WithWireTransport hold no external
-// resources and Close is a no-op. Safe to call more than once.
+// Close tears down the engine: new and in-flight Exec retries observe
+// the closed flag and fail with ErrEngineClosed, the in-flight wire
+// execution (if any) is drained, and then the wire transport's listener
+// and peer connections are closed. Engines without WithWireTransport
+// hold no external resources; Close only flips the flag. Close is
+// idempotent and safe to call concurrently with Exec — every call
+// returns the first call's result.
 func (e *Engine) Close() error {
+	e.closed.Store(true)
+	e.closeOnce.Do(func() {
+		if e.wireTr == nil {
+			return
+		}
+		// Drain: a wire run in flight holds wireMu; taking it here means
+		// the collective has finished (or its retry loop saw the closed
+		// flag and bailed) before the mesh is torn down under it.
+		e.wireMu.Lock()
+		defer e.wireMu.Unlock()
+		e.closeErr = e.wireTr.Close()
+	})
+	return e.closeErr
+}
+
+// Recover heals the engine's wire mesh after a peer-process loss: dead
+// workers are re-execed (when the wire config carries a Respawn hook)
+// and only the lost connections are rebuilt, under the epoch-carrying
+// handshake, so the next Exec runs on a whole mesh again. The retry
+// layer (WithRetry) calls it automatically between attempts; call it
+// directly when orchestrating retries yourself. On engines without a
+// wire transport it is a no-op.
+func (e *Engine) Recover() error {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
 	if e.wireTr == nil {
 		return nil
 	}
-	return e.wireTr.Close()
+	return e.wireTr.Recover()
 }
 
 // WireRank returns the index of this process in the wire peer list and
@@ -426,6 +505,7 @@ func (e *Engine) Plan(ctx context.Context, m, n, k int) (*Plan, error) {
 		inner: inner, network: e.cfg.network,
 		kernelThreads: e.cfg.kernelThreads, autotune: e.cfg.autotune,
 		recvTimeout: e.cfg.recvTimeout, faults: e.cfg.faults,
+		retry: e.cfg.retry, verify: e.cfg.verify, closed: &e.closed,
 	}
 	if e.wireMach != nil {
 		// The distributed-gather gate of algo.NewExecutorOpts, surfaced
@@ -435,6 +515,12 @@ func (e *Engine) Plan(ctx context.Context, m, n, k int) (*Plan, error) {
 		}
 		p.sharedMach = e.wireMach
 		p.execMu = &e.wireMu
+		p.recoverFn = e.wireTr.Recover
+		p.multiProc = len(e.wireMach.LocalRanks()) < e.cfg.procs
+		if p.multiProc && !hostsRankZero(e.wireMach) {
+			// Only the process holding the gathered product can check it.
+			p.verify = false
+		}
 	}
 	e.plans.Add(key, p)
 	e.misses++
@@ -447,6 +533,9 @@ func (e *Engine) Plan(ctx context.Context, m, n, k int) (*Plan, error) {
 // the next communication-round boundary — ranks parked in Recv or
 // Barrier are woken — and Exec returns ctx.Err().
 func (e *Engine) Exec(ctx context.Context, a, b *Matrix) (*Matrix, *Report, error) {
+	if e.closed.Load() {
+		return nil, nil, ErrEngineClosed
+	}
 	if a.Cols != b.Rows {
 		return nil, nil, fmt.Errorf("cosma: A is %d×%d but B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
@@ -469,6 +558,9 @@ type Pair struct {
 // (including cancellation) it returns the results completed so far,
 // with nil entries for the rest.
 func (e *Engine) MultiplyBatch(ctx context.Context, pairs []Pair) ([]*Matrix, []*Report, error) {
+	if e.closed.Load() {
+		return nil, nil, ErrEngineClosed
+	}
 	if len(pairs) == 0 {
 		return nil, nil, nil
 	}
@@ -498,13 +590,24 @@ func (e *Engine) MultiplyBatch(ctx context.Context, pairs []Pair) ([]*Matrix, []
 	outs := make([]*Matrix, len(pairs))
 	reps := make([]*Report, len(pairs))
 	for i, p := range pairs {
-		c, rep, err := exec.Exec(ctx, p.A, p.B)
+		c, rep, err := plan.runRetry(ctx, exec, p.A, p.B)
 		if err != nil {
 			return outs, reps, fmt.Errorf("cosma: batch pair %d: %w", i, err)
 		}
 		outs[i], reps[i] = c, rep
 	}
 	return outs, reps, nil
+}
+
+// hostsRankZero reports whether this process runs rank 0's program —
+// the rank the distributed algorithms gather the product to.
+func hostsRankZero(m *machine.Machine) bool {
+	for _, id := range m.LocalRanks() {
+		if id == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // PredictTime returns the engine's analytic end-to-end runtime in

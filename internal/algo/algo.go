@@ -39,6 +39,12 @@ type Report struct {
 	// then reflects the overlapped critical path.
 	Overlap bool
 
+	// Attempts counts the executions behind this report: 1 for a run
+	// that succeeded first try, more when a retrying engine
+	// (cosma.WithRetry) re-ran after transient faults. The traffic
+	// columns describe the final, successful attempt only.
+	Attempts int
+
 	// Network names the timed transport's preset when the run executed
 	// on one; empty for counting-only runs, in which case the time
 	// fields are zero.
@@ -67,6 +73,7 @@ func NewReport(name, gridStr string, m *machine.Machine, used int, model Model) 
 		Grid:      gridStr,
 		P:         m.P(),
 		Used:      used,
+		Attempts:  1,
 		AvgRecv:   m.AvgRecv(),
 		MaxRecv:   m.MaxRecv(),
 		MaxVolume: m.MaxVolume(),

@@ -29,6 +29,11 @@ type Cluster struct {
 	Machines []*machine.Machine
 	// Cleanup tears the cluster down (closing transports); may be nil.
 	Cleanup func()
+	// Recover heals the cluster after a failed run — multi-process
+	// backends rebuild lost connections here (wire.Transport.Recover
+	// on every process). In-process backends may leave it nil:
+	// recovery is a no-op for them.
+	Recover func() error
 }
 
 // Factory builds a fresh p-rank cluster for one subtest.
@@ -398,6 +403,76 @@ func Run(t *testing.T, factory Factory) {
 		}
 		if !timedOut {
 			t.Fatalf("no rank reported ErrRecvTimeout waiting on the straggler: %v", errs)
+		}
+	})
+
+	// The recovery section: a seeded rank death on the first attempt,
+	// Cluster.Recover, then a re-run of the same program — which must
+	// succeed and reproduce the fault-free result bitwise. This is the
+	// transport-level contract the engine's WithRetry loop builds on.
+
+	t.Run("RecoveryRetryAfterRankDeath", func(t *testing.T) {
+		c := cluster(t)
+		record := make([]float64, p)
+		prog := func(r *machine.Rank) error {
+			// A deterministic multi-round reduction whose per-rank result
+			// depends on every round's traffic, so any replay divergence
+			// shows up in the recorded values.
+			acc := float64(r.ID() + 1)
+			next, prev := (r.ID()+1)%r.P(), (r.ID()+r.P()-1)%r.P()
+			for round := 0; round < 3; round++ {
+				r.Send(next, 30+round, []float64{acc + float64(round)})
+				got := r.Recv(prev, 30+round)
+				acc = acc*3 + got[0]
+				machine.Release(got)
+				r.Barrier()
+			}
+			record[r.ID()] = acc
+			return nil
+		}
+
+		// Fault-free baseline.
+		if err := first(runWithin(t, 30*time.Second, c, context.Background(), prog)); err != nil {
+			t.Fatalf("fault-free baseline: %v", err)
+		}
+		want := append([]float64(nil), record...)
+
+		// Seeded kill: rank p−1 dies entering its round-1 barrier, on the
+		// first attempt only.
+		plan := machine.FaultPlan{Deaths: []machine.RankDeath{{Rank: p - 1, Round: 1, OnAttempt: 1}}}
+		for _, m := range c.Machines {
+			if err := m.SetFaultPlan(plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range record {
+			record[i] = 0
+		}
+		errs := runWithin(t, 30*time.Second, c, context.Background(), prog)
+		for i, err := range errs {
+			if err == nil {
+				t.Fatalf("machine %d returned nil from the killed attempt", i)
+			}
+		}
+		if err := errs[hostIndex(c, p-1)]; !errors.Is(err, machine.ErrFaultInjected) {
+			t.Fatalf("victim host: got %v, want ErrFaultInjected", err)
+		}
+
+		// Recover, then retry: the death was scripted for attempt 1 only,
+		// so the second attempt must complete and match the baseline
+		// bitwise.
+		if c.Recover != nil {
+			if err := c.Recover(); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+		}
+		if err := first(runWithin(t, 30*time.Second, c, context.Background(), prog)); err != nil {
+			t.Fatalf("retry after recovery: %v", err)
+		}
+		for i, w := range want {
+			if record[i] != w {
+				t.Fatalf("rank %d: retried result %v differs from fault-free %v", i, record[i], w)
+			}
 		}
 	})
 

@@ -24,10 +24,11 @@ import (
 // on the exact code path it had before SetFaultPlan was called —
 // clean runs stay bitwise-identical.
 type FaultPlan struct {
-	Deaths []RankDeath
-	Drops  []MessageDrop
-	Delays []MessageDelay
-	Slow   []SlowRank
+	Deaths   []RankDeath
+	Drops    []MessageDrop
+	Delays   []MessageDelay
+	Slow     []SlowRank
+	Corrupts []Corrupt
 }
 
 // RankDeath kills Rank at its first send, compute or barrier once the
@@ -36,18 +37,43 @@ type FaultPlan struct {
 // a barrier-free program Round 0 fires at the first operation. The rank
 // panics, the run is interrupted, and Run reports an error wrapping
 // ErrFaultInjected.
+//
+// OnAttempt restricts the death to the OnAttempt-th Run since the plan
+// was installed (1-based); 0 fires on every Run. A retry layer uses
+// OnAttempt to script "die once, then recover".
 type RankDeath struct {
-	Rank  int
-	Round int
+	Rank      int
+	Round     int
+	OnAttempt int
 }
 
 // MessageDrop silently discards messages from Src to Dst after the
 // first After have been delivered (After 0 drops them all). Src or
 // Dst may be -1 to match any rank; the most specific matching rule
-// wins. Self-sends are never dropped.
+// wins. Self-sends are never dropped. OnAttempt restricts the rule to
+// one Run, as on RankDeath.
 type MessageDrop struct {
-	Src, Dst int
-	After    int
+	Src, Dst  int
+	After     int
+	OnAttempt int
+}
+
+// Corrupt silently flips payload bits in flight: once After messages
+// from Src to Dst have been sent, every later matching payload has word
+// Word (modulo the payload length) perturbed — multiplied by Scale, or,
+// with Scale 0, its exponent bit 62 flipped, the classic silent
+// data-corruption model. The message still arrives, counters still
+// count it, and nothing fails: only an end-to-end integrity check (the
+// engine's ABFT checksums) can see it. Src or Dst may be -1 to match
+// any rank; self-sends are never corrupted; corruption is applied to a
+// private copy, never to the sender's buffer. OnAttempt restricts the
+// rule to one Run, as on RankDeath.
+type Corrupt struct {
+	Src, Dst  int
+	After     int
+	Word      int
+	Scale     float64
+	OnAttempt int
 }
 
 // MessageDelay slows the Src→Dst link: Seconds delays the logical
@@ -76,7 +102,8 @@ var ErrFaultInjected = errors.New("injected fault")
 
 // Empty reports whether the plan injects nothing.
 func (fp FaultPlan) Empty() bool {
-	return len(fp.Deaths) == 0 && len(fp.Drops) == 0 && len(fp.Delays) == 0 && len(fp.Slow) == 0
+	return len(fp.Deaths) == 0 && len(fp.Drops) == 0 && len(fp.Delays) == 0 &&
+		len(fp.Slow) == 0 && len(fp.Corrupts) == 0
 }
 
 // Validate checks every rank reference against machine size p.
@@ -97,6 +124,9 @@ func (fp FaultPlan) Validate(p int) error {
 		if d.Round < 0 {
 			return fmt.Errorf("machine: fault plan: death round %d < 0", d.Round)
 		}
+		if d.OnAttempt < 0 {
+			return fmt.Errorf("machine: fault plan: death attempt %d < 0", d.OnAttempt)
+		}
 	}
 	for _, d := range fp.Drops {
 		if err := check("drop src", d.Src, true); err != nil {
@@ -107,6 +137,20 @@ func (fp FaultPlan) Validate(p int) error {
 		}
 		if d.After < 0 {
 			return fmt.Errorf("machine: fault plan: drop after %d < 0", d.After)
+		}
+		if d.OnAttempt < 0 {
+			return fmt.Errorf("machine: fault plan: drop attempt %d < 0", d.OnAttempt)
+		}
+	}
+	for _, c := range fp.Corrupts {
+		if err := check("corrupt src", c.Src, true); err != nil {
+			return err
+		}
+		if err := check("corrupt dst", c.Dst, true); err != nil {
+			return err
+		}
+		if c.After < 0 || c.Word < 0 || c.OnAttempt < 0 {
+			return fmt.Errorf("machine: fault plan: negative corrupt field")
 		}
 	}
 	for _, d := range fp.Delays {
@@ -152,16 +196,21 @@ type clockSkewer interface {
 // rank goroutines alive.
 type faultState struct {
 	ranks []rankFaults
+	// run counts Runs since the plan was installed (1 during the first
+	// Run): the clock OnAttempt-gated rules fire against. Written only by
+	// reset between Runs, read by the rank goroutines.
+	run int
 }
 
 type rankFaults struct {
-	death  *RankDeath
-	slow   *SlowRank
-	drops  []MessageDrop  // rules applying to this sender, most specific first
-	delays []MessageDelay // likewise
+	death    *RankDeath
+	slow     *SlowRank
+	drops    []MessageDrop  // rules applying to this sender, most specific first
+	delays   []MessageDelay // likewise
+	corrupts []Corrupt      // likewise
 	// Mutable per-run state, owned by the rank's goroutine:
 	barriers int
-	sent     []int // per-destination send attempts (nil unless drops exist)
+	sent     []int // per-destination send attempts (nil unless drops or corrupts exist)
 }
 
 func compileFaults(fp FaultPlan, p int) *faultState {
@@ -208,16 +257,25 @@ func compileFaults(fp FaultPlan, p int) *faultState {
 		sort.SliceStable(rf.delays, func(i, j int) bool {
 			return spec(rf.delays[i].Src, rf.delays[i].Dst) < spec(rf.delays[j].Src, rf.delays[j].Dst)
 		})
-		if len(rf.drops) > 0 {
+		for _, c := range fp.Corrupts {
+			if c.Src == r || c.Src == -1 {
+				rf.corrupts = append(rf.corrupts, c)
+			}
+		}
+		sort.SliceStable(rf.corrupts, func(i, j int) bool {
+			return spec(rf.corrupts[i].Src, rf.corrupts[i].Dst) < spec(rf.corrupts[j].Src, rf.corrupts[j].Dst)
+		})
+		if len(rf.drops) > 0 || len(rf.corrupts) > 0 {
 			rf.sent = make([]int, p)
 		}
 	}
 	return f
 }
 
-// reset clears the per-run counters; called from RunCtx before the
-// rank goroutines start.
+// reset clears the per-run counters and advances the attempt clock;
+// called from RunCtx before the rank goroutines start.
 func (f *faultState) reset() {
+	f.run++
 	for i := range f.ranks {
 		f.ranks[i].barriers = 0
 		for j := range f.ranks[i].sent {
@@ -231,19 +289,23 @@ func (f *faultState) reset() {
 // only at barrier entry — makes Round-0 deaths fire in barrier-free
 // programs too (the GEMM executors never call Barrier), while
 // barrier-driven programs still die within their scheduled round.
-func (rf *rankFaults) maybeDie(rank int) {
-	if rf.death != nil && rf.barriers >= rf.death.Round {
-		panic(faultPanic{fmt.Errorf("%w: rank %d died in round %d",
-			ErrFaultInjected, rank, rf.death.Round)})
+func (rf *rankFaults) maybeDie(rank, run int) {
+	if rf.death != nil && rf.barriers >= rf.death.Round &&
+		(rf.death.OnAttempt == 0 || rf.death.OnAttempt == run) {
+		panic(faultPanic{fmt.Errorf("%w: rank %d died in round %d (attempt %d)",
+			ErrFaultInjected, rank, rf.death.Round, run)})
 	}
 }
 
 // send applies the plan to an outgoing message from rank to dst: it
 // stalls the sender for any wall-clock delay, and reports whether the
-// message is dropped plus any logical departure delay in seconds.
-func (f *faultState) send(rank, dst int) (drop bool, logical float64) {
+// message is dropped, any logical departure delay in seconds, and any
+// corruption rule to apply to the payload. Rules gated to another
+// attempt are skipped, so a less specific always-on rule can still
+// match. A dropped message is never also corrupted.
+func (f *faultState) send(rank, dst int) (drop bool, logical float64, corr *Corrupt) {
 	rf := &f.ranks[rank]
-	rf.maybeDie(rank)
+	rf.maybeDie(rank, f.run)
 	n := 0
 	if rf.sent != nil {
 		n = rf.sent[dst]
@@ -251,8 +313,22 @@ func (f *faultState) send(rank, dst int) (drop bool, logical float64) {
 	}
 	for i := range rf.drops {
 		if d := &rf.drops[i]; d.Dst == dst || d.Dst == -1 {
+			if d.OnAttempt != 0 && d.OnAttempt != f.run {
+				continue
+			}
 			if n >= d.After {
-				return true, 0
+				return true, 0, nil
+			}
+			break
+		}
+	}
+	for i := range rf.corrupts {
+		if c := &rf.corrupts[i]; c.Dst == dst || c.Dst == -1 {
+			if c.OnAttempt != 0 && c.OnAttempt != f.run {
+				continue
+			}
+			if n >= c.After {
+				corr = c
 			}
 			break
 		}
@@ -266,20 +342,20 @@ func (f *faultState) send(rank, dst int) (drop bool, logical float64) {
 			break
 		}
 	}
-	return false, logical
+	return false, logical, corr
 }
 
 // barrier fires any scheduled death for rank at its current round,
 // then advances the round count.
 func (f *faultState) barrier(rank int) {
 	rf := &f.ranks[rank]
-	rf.maybeDie(rank)
+	rf.maybeDie(rank, f.run)
 	rf.barriers++
 }
 
 // compute applies any straggler skew for rank after a Compute charge.
 func (f *faultState) compute(m *Machine, rank int, flops int64) {
-	f.ranks[rank].maybeDie(rank)
+	f.ranks[rank].maybeDie(rank, f.run)
 	s := f.ranks[rank].slow
 	if s == nil {
 		return

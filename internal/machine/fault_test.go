@@ -215,17 +215,139 @@ func TestFaultEmptyPlanBitwiseIdentical(t *testing.T) {
 	}
 }
 
+func TestFaultCorruptFlipsOneWord(t *testing.T) {
+	// A corrupted copied send: the receiver sees exactly one word
+	// changed, and the sender's buffer is untouched.
+	m := New(2)
+	plan := FaultPlan{Corrupts: []Corrupt{{Src: 0, Dst: 1, Word: 2}}}
+	if err := m.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	sent := []float64{1, 2, 3, 4}
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 0, sent)
+			return nil
+		}
+		got := r.Recv(0, 0)
+		defer Release(got)
+		for i, v := range got {
+			if i == 2 {
+				if v == sent[i] {
+					return errors.New("word 2 was not corrupted")
+				}
+				continue
+			}
+			if v != sent[i] {
+				return errors.New("a word other than 2 was changed")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []float64{1, 2, 3, 4} {
+		if sent[i] != v {
+			t.Fatalf("corruption mutated the caller's buffer at word %d", i)
+		}
+	}
+}
+
+func TestFaultCorruptScaleAndAfter(t *testing.T) {
+	// Scale-mode corruption that starts after the first message: message
+	// 0 arrives clean, message 1 arrives with word 0 scaled.
+	m := New(2)
+	plan := FaultPlan{Corrupts: []Corrupt{{Src: 0, Dst: 1, After: 1, Scale: 10}}}
+	if err := m.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 0, []float64{5})
+			r.Send(1, 1, []float64{5})
+			return nil
+		}
+		first := r.Recv(0, 0)
+		second := r.Recv(0, 1)
+		defer Release(first)
+		defer Release(second)
+		if first[0] != 5 {
+			return errors.New("message before After was corrupted")
+		}
+		if second[0] != 50 {
+			return errors.New("message after After was not scaled")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultCorruptOnAttemptGating(t *testing.T) {
+	// OnAttempt: 1 corrupts only the first run after installation; the
+	// second run on the same machine is clean — the contract retry
+	// loops script chaos experiments against.
+	m := New(2)
+	plan := FaultPlan{Corrupts: []Corrupt{{Src: 0, Dst: 1, OnAttempt: 1}}}
+	if err := m.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	run := func() (clean bool) {
+		err := m.Run(func(r *Rank) error {
+			if r.ID() == 0 {
+				r.Send(1, 0, []float64{7})
+				return nil
+			}
+			got := r.Recv(0, 0)
+			defer Release(got)
+			if got[0] != 7 {
+				return errors.New("corrupted")
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if run() {
+		t.Fatal("attempt 1 was not corrupted")
+	}
+	if !run() {
+		t.Fatal("attempt 2 was corrupted despite OnAttempt: 1")
+	}
+}
+
+func TestFaultDeathOnAttemptGating(t *testing.T) {
+	m := New(3)
+	plan := FaultPlan{Deaths: []RankDeath{{Rank: 2, Round: 0, OnAttempt: 1}}}
+	if err := m.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(ringProgram(2, 8)); !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("attempt 1: err = %v, want ErrFaultInjected", err)
+	}
+	if err := m.Run(ringProgram(2, 8)); err != nil {
+		t.Fatalf("attempt 2 must survive an OnAttempt: 1 death: %v", err)
+	}
+}
+
 func TestFaultPlanValidate(t *testing.T) {
 	m := New(4)
 	bad := []FaultPlan{
 		{Deaths: []RankDeath{{Rank: 4}}},
 		{Deaths: []RankDeath{{Rank: -1}}},
 		{Deaths: []RankDeath{{Rank: 0, Round: -1}}},
+		{Deaths: []RankDeath{{Rank: 0, OnAttempt: -1}}},
 		{Drops: []MessageDrop{{Src: 9, Dst: 0}}},
 		{Drops: []MessageDrop{{Src: 0, Dst: 0, After: -1}}},
+		{Drops: []MessageDrop{{Src: 0, Dst: 0, OnAttempt: -2}}},
 		{Delays: []MessageDelay{{Src: 0, Dst: 1, Seconds: -1}}},
 		{Slow: []SlowRank{{Rank: 0, Factor: 0.5}}},
 		{Slow: []SlowRank{{Rank: 0, PerCompute: -time.Second}}},
+		{Corrupts: []Corrupt{{Src: 5, Dst: 0}}},
+		{Corrupts: []Corrupt{{Src: 0, Dst: 1, Word: -1}}},
+		{Corrupts: []Corrupt{{Src: 0, Dst: 1, After: -1}}},
+		{Corrupts: []Corrupt{{Src: 0, Dst: 1, OnAttempt: -1}}},
 	}
 	for i, fp := range bad {
 		if err := m.SetFaultPlan(fp); err == nil {
@@ -233,10 +355,11 @@ func TestFaultPlanValidate(t *testing.T) {
 		}
 	}
 	ok := FaultPlan{
-		Deaths: []RankDeath{{Rank: 3, Round: 2}},
-		Drops:  []MessageDrop{{Src: -1, Dst: -1}},
-		Delays: []MessageDelay{{Src: 0, Dst: -1, Seconds: 1}},
-		Slow:   []SlowRank{{Rank: 1, Factor: 2, PerCompute: time.Millisecond}},
+		Deaths:   []RankDeath{{Rank: 3, Round: 2, OnAttempt: 1}},
+		Drops:    []MessageDrop{{Src: -1, Dst: -1}},
+		Delays:   []MessageDelay{{Src: 0, Dst: -1, Seconds: 1}},
+		Slow:     []SlowRank{{Rank: 1, Factor: 2, PerCompute: time.Millisecond}},
+		Corrupts: []Corrupt{{Src: -1, Dst: 2, Word: 3, Scale: 2, OnAttempt: 1}},
 	}
 	if err := m.SetFaultPlan(ok); err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -398,24 +399,50 @@ func (r *Rank) P() int { return r.m.P() }
 // blocks (eager unbounded buffering).
 func (r *Rank) Send(dst, tag int, data []float64) {
 	r.checkPeer(dst, "sends to")
-	if drop, delay := r.faultSend(dst); drop {
-		return
-	} else if delay > 0 {
-		r.m.t.SendAt(r.id, dst, tag, data, false, r.Now()+delay)
+	drop, delay, corr := r.faultSend(dst)
+	if drop {
 		return
 	}
-	r.m.t.Send(r.id, dst, tag, data, false)
+	data, owned := corruptPayload(data, false, corr)
+	if delay > 0 {
+		r.m.t.SendAt(r.id, dst, tag, data, owned, r.Now()+delay)
+		return
+	}
+	r.m.t.Send(r.id, dst, tag, data, owned)
 }
 
 // faultSend applies the machine's fault plan (if any) to an outgoing
-// message: it reports whether the message must vanish and any logical
-// departure delay. On the clean path it is a single nil check.
-func (r *Rank) faultSend(dst int) (drop bool, delay float64) {
+// message: it reports whether the message must vanish, any logical
+// departure delay, and any corruption rule. On the clean path it is a
+// single nil check.
+func (r *Rank) faultSend(dst int) (drop bool, delay float64, corr *Corrupt) {
 	f := r.m.faults
 	if f == nil || dst == r.id {
-		return false, 0
+		return false, 0, nil
 	}
 	return f.send(r.id, dst)
+}
+
+// corruptPayload applies an injected Corrupt rule to an outgoing
+// payload. A copied send is first cloned into a pool buffer (the
+// caller's data must never be mutated) and becomes an owned send; an
+// owned payload is perturbed in place. Empty payloads pass untouched.
+func corruptPayload(data []float64, owned bool, c *Corrupt) ([]float64, bool) {
+	if c == nil || len(data) == 0 {
+		return data, owned
+	}
+	if !owned {
+		cp := Loan(len(data))
+		copy(cp, data)
+		data, owned = cp, true
+	}
+	i := c.Word % len(data)
+	if c.Scale != 0 {
+		data[i] *= c.Scale
+	} else {
+		data[i] = math.Float64frombits(math.Float64bits(data[i]) ^ (1 << 62))
+	}
+	return data, owned
 }
 
 // SendOwned delivers data to rank dst with the given tag, transferring
@@ -423,10 +450,13 @@ func (r *Rank) faultSend(dst int) (drop bool, delay float64) {
 // receiver) without copying. The caller must not touch data afterwards.
 func (r *Rank) SendOwned(dst, tag int, data []float64) {
 	r.checkPeer(dst, "sends to")
-	if drop, delay := r.faultSend(dst); drop {
+	drop, delay, corr := r.faultSend(dst)
+	if drop {
 		Release(data)
 		return
-	} else if delay > 0 {
+	}
+	data, _ = corruptPayload(data, true, corr)
+	if delay > 0 {
 		r.m.t.SendAt(r.id, dst, tag, data, true, r.Now()+delay)
 		return
 	}
@@ -449,23 +479,29 @@ func (r *Rank) Recv(src, tag int) []float64 {
 // operations uniformly.
 func (r *Rank) ISend(dst, tag int, data []float64) Request {
 	r.checkPeer(dst, "sends to")
-	if drop, delay := r.faultSend(dst); drop {
-		return completedRequest{at: r.Now()}
-	} else if delay > 0 {
-		r.m.t.SendAt(r.id, dst, tag, data, false, r.Now()+delay)
+	drop, delay, corr := r.faultSend(dst)
+	if drop {
 		return completedRequest{at: r.Now()}
 	}
-	return r.m.t.ISend(r.id, dst, tag, data, false)
+	data, owned := corruptPayload(data, false, corr)
+	if delay > 0 {
+		r.m.t.SendAt(r.id, dst, tag, data, owned, r.Now()+delay)
+		return completedRequest{at: r.Now()}
+	}
+	return r.m.t.ISend(r.id, dst, tag, data, owned)
 }
 
 // ISendOwned is ISend with zero-copy ownership transfer of data to the
 // transport; the caller must not touch data afterwards.
 func (r *Rank) ISendOwned(dst, tag int, data []float64) Request {
 	r.checkPeer(dst, "sends to")
-	if drop, delay := r.faultSend(dst); drop {
+	drop, delay, corr := r.faultSend(dst)
+	if drop {
 		Release(data)
 		return completedRequest{at: r.Now()}
-	} else if delay > 0 {
+	}
+	data, _ = corruptPayload(data, true, corr)
+	if delay > 0 {
 		r.m.t.SendAt(r.id, dst, tag, data, true, r.Now()+delay)
 		return completedRequest{at: r.Now()}
 	}
@@ -492,24 +528,24 @@ func (r *Rank) IRecv(src, tag int) Request {
 // Send.
 func (r *Rank) SendAt(dst, tag int, data []float64, at float64) {
 	r.checkPeer(dst, "sends to")
-	if drop, delay := r.faultSend(dst); drop {
+	drop, delay, corr := r.faultSend(dst)
+	if drop {
 		return
-	} else if delay > 0 {
-		at += delay
 	}
-	r.m.t.SendAt(r.id, dst, tag, data, false, at)
+	data, owned := corruptPayload(data, false, corr)
+	r.m.t.SendAt(r.id, dst, tag, data, owned, at+delay)
 }
 
 // SendOwnedAt is SendAt with zero-copy ownership transfer of data.
 func (r *Rank) SendOwnedAt(dst, tag int, data []float64, at float64) {
 	r.checkPeer(dst, "sends to")
-	if drop, delay := r.faultSend(dst); drop {
+	drop, delay, corr := r.faultSend(dst)
+	if drop {
 		Release(data)
 		return
-	} else if delay > 0 {
-		at += delay
 	}
-	r.m.t.SendAt(r.id, dst, tag, data, true, at)
+	data, _ = corruptPayload(data, true, corr)
+	r.m.t.SendAt(r.id, dst, tag, data, true, at+delay)
 }
 
 // Now returns this rank's current logical clock in seconds on a timed

@@ -4,8 +4,8 @@ package wire
 // simulating a crashed process: survivors must see a lost connection,
 // not a clean departure. Test-only.
 func (t *Transport) Kill() {
-	for _, pr := range t.peers {
-		if pr != nil {
+	for i := range t.peers {
+		if pr := t.peers[i].Load(); pr != nil {
 			pr.conn.Close()
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cosma/internal/machine"
@@ -29,6 +30,12 @@ type Config struct {
 	// RecvTimeout is the initial receive deadline (see
 	// Transport.SetRecvTimeout). Zero disables the bound.
 	RecvTimeout time.Duration
+	// Respawn, when set, lets Recover re-exec a dead worker process:
+	// it is called with the process index and address of each dead
+	// peer before the lost connections are rebuilt. Only the launcher
+	// process needs it — peers with a nil Respawn simply reconnect to
+	// whatever comes back up at the dead peer's address.
+	Respawn func(proc int, addr string) error
 }
 
 // Transport is the out-of-process machine.Transport: every rank's
@@ -52,9 +59,15 @@ type Transport struct {
 	count  []machine.Counters
 
 	recvTimeout time.Duration
+	dialT       time.Duration
+	respawn     func(proc int, addr string) error
 
-	ln    net.Listener
-	peers []*peer // per process; nil at self
+	ln net.Listener
+	// peers holds one connection per peer process (nil at self and for
+	// lost peers); slots are atomic so Recover can swap a rebuilt
+	// connection in while reader goroutines of other peers still route
+	// frames.
+	peers []atomic.Pointer[peer]
 
 	dead      chan struct{}
 	closeOnce sync.Once
@@ -62,8 +75,9 @@ type Transport struct {
 
 	// fmu guards the failure record and the abort callback.
 	fmu      sync.Mutex
-	failed   error // sticky: a connection died; poisons later runs
-	abortErr error // per-run: a peer aborted; cleared by Reset
+	failed   error  // sticky: a connection died; poisons later runs
+	deadProc []bool // per process: its connection is gone (crash or clean exit)
+	abortErr error  // per-run: a peer aborted; cleared by Reset
 	onAbort  func()
 
 	// bmu guards all barrier/abort/ctrl bookkeeping; bcond wakes
@@ -86,9 +100,13 @@ type Transport struct {
 }
 
 type peer struct {
+	proc int
 	addr string
 	conn net.Conn
 	out  chan frame
+	// superseded marks a connection Recover has replaced: its loops
+	// must not record failures against the fresh connection's process.
+	superseded atomic.Bool
 }
 
 // New connects this process into the wire machine described by cfg:
@@ -143,6 +161,8 @@ func build(cfg Config) (*Transport, error) {
 		office:      make([]*machine.Mailbox, p),
 		count:       make([]machine.Counters, p),
 		recvTimeout: cfg.RecvTimeout,
+		dialT:       cfg.dialTimeout(),
+		respawn:     cfg.Respawn,
 		dead:        make(chan struct{}),
 		entered:     make(map[int64]int),
 		released:    make(map[int64]bool),
@@ -171,7 +191,8 @@ func build(cfg Config) (*Transport, error) {
 			t.office[rank].SetTimeout(cfg.RecvTimeout)
 		}
 	}
-	t.peers = make([]*peer, len(t.procs))
+	t.peers = make([]atomic.Pointer[peer], len(t.procs))
+	t.deadProc = make([]bool, len(t.procs))
 	return t, nil
 }
 
@@ -183,8 +204,11 @@ func (cfg Config) dialTimeout() time.Duration {
 }
 
 // connect brings up the one-connection-per-process-pair mesh: dial
-// processes below us (sending HELLO so the acceptor learns who we
-// are), accept processes above us.
+// processes below us, accept processes above us. Each connection opens
+// with a two-way HELLO exchange (dialer's hello, acceptor's ack) that
+// carries both sides' run epochs, so a process joining an established
+// mesh — a worker Recover re-execed — fast-forwards to the survivors'
+// epoch before its first Reset.
 func (t *Transport) connect(timeout time.Duration) error {
 	network, target := splitAddr(t.procs[t.self])
 	ln, err := listen(network, target)
@@ -198,40 +222,23 @@ func (t *Transport) connect(timeout time.Duration) error {
 	go func() {
 		var scratch []byte
 		for n := len(t.procs) - 1 - t.self; n > 0; n-- {
-			conn, err := ln.Accept()
+			var src int
+			var err error
+			src, scratch, err = t.acceptPeer(conns, scratch, timeout, nil)
 			if err != nil {
-				acceptErr <- fmt.Errorf("wire: process %d accepting peer: %w", t.self, err)
+				acceptErr <- err
 				return
 			}
-			conn.SetReadDeadline(time.Now().Add(timeout))
-			var hello frame
-			hello, scratch, err = readFrame(conn, scratch)
-			if err != nil || hello.kind != kindHello || hello.tag != int64(t.p) ||
-				hello.src <= t.self || hello.src >= len(t.procs) || conns[hello.src] != nil {
-				conn.Close()
-				if err == nil {
-					err = fmt.Errorf("handshake from process %d rejected", hello.src)
-				}
-				acceptErr <- fmt.Errorf("wire: process %d handshake: %w", t.self, err)
-				return
-			}
-			conn.SetReadDeadline(time.Time{})
-			conns[hello.src] = conn
+			_ = src
 		}
 		acceptErr <- nil
 	}()
 
 	var dialErr error
 	for j := 0; j < t.self && dialErr == nil; j++ {
-		conn, err := dialRetry(t.procs[j], timeout)
+		conn, err := t.dialPeer(j, timeout)
 		if err != nil {
-			dialErr = fmt.Errorf("wire: process %d dialing process %d (%s): %w", t.self, j, t.procs[j], err)
-			break
-		}
-		hello := appendFrame(nil, frame{kind: kindHello, src: t.self, dst: j, tag: int64(t.p)})
-		if _, err := conn.Write(hello); err != nil {
-			conn.Close()
-			dialErr = fmt.Errorf("wire: process %d handshake with process %d: %w", t.self, j, err)
+			dialErr = err
 			break
 		}
 		conns[j] = conn
@@ -248,16 +255,97 @@ func (t *Transport) connect(timeout time.Duration) error {
 		return dialErr
 	}
 	for j, conn := range conns {
-		if conn == nil {
-			continue
+		if conn != nil {
+			t.startPeer(j, conn)
 		}
-		pr := &peer{addr: t.procs[j], conn: conn, out: make(chan frame, 256)}
-		t.peers[j] = pr
-		t.wg.Add(2)
-		go t.writeLoop(pr)
-		go t.readLoop(pr)
 	}
 	return nil
+}
+
+// dialPeer dials process j, sends our hello and waits for the
+// acceptor's ack, adopting its epoch.
+func (t *Transport) dialPeer(j int, timeout time.Duration) (net.Conn, error) {
+	conn, err := dialRetry(t.procs[j], timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: process %d dialing process %d (%s): %w", t.self, j, t.procs[j], err)
+	}
+	hello := appendFrame(nil, frame{kind: kindHello, src: t.self, dst: j, tag: int64(t.p), epoch: t.curEpoch()})
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: process %d handshake with process %d: %w", t.self, j, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	ack, _, err := readFrame(conn, nil)
+	if err != nil || ack.kind != kindHello || ack.tag != int64(t.p) || ack.src != j {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("bad hello ack from process %d", ack.src)
+		}
+		return nil, fmt.Errorf("wire: process %d handshake with process %d: %w", t.self, j, err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	t.adoptEpoch(ack.epoch)
+	return conn, nil
+}
+
+// acceptPeer accepts one handshake from a higher-indexed process,
+// recording the connection in conns[src]. accept (nil = any new
+// higher-indexed process) further restricts which processes are
+// expected — Recover passes the set of dead ones.
+func (t *Transport) acceptPeer(conns []net.Conn, scratch []byte, timeout time.Duration, accept func(src int) bool) (int, []byte, error) {
+	conn, err := t.ln.Accept()
+	if err != nil {
+		return 0, scratch, fmt.Errorf("wire: process %d accepting peer: %w", t.self, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	var hello frame
+	hello, scratch, err = readFrame(conn, scratch)
+	if err != nil || hello.kind != kindHello || hello.tag != int64(t.p) ||
+		hello.src <= t.self || hello.src >= len(t.procs) || conns[hello.src] != nil ||
+		(accept != nil && !accept(hello.src)) {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("handshake from process %d rejected", hello.src)
+		}
+		return 0, scratch, fmt.Errorf("wire: process %d handshake: %w", t.self, err)
+	}
+	ack := appendFrame(nil, frame{kind: kindHello, src: t.self, dst: hello.src, tag: int64(t.p), epoch: t.curEpoch()})
+	if _, err := conn.Write(ack); err != nil {
+		conn.Close()
+		return 0, scratch, fmt.Errorf("wire: process %d handshake ack to process %d: %w", t.self, hello.src, err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	t.adoptEpoch(hello.epoch)
+	conns[hello.src] = conn
+	return hello.src, scratch, nil
+}
+
+// startPeer installs a fresh connection to process j and starts its
+// reader and writer goroutines.
+func (t *Transport) startPeer(j int, conn net.Conn) {
+	pr := &peer{proc: j, addr: t.procs[j], conn: conn, out: make(chan frame, 256)}
+	t.peers[j].Store(pr)
+	t.wg.Add(2)
+	go t.writeLoop(pr)
+	go t.readLoop(pr)
+}
+
+func (t *Transport) curEpoch() int64 {
+	t.bmu.Lock()
+	defer t.bmu.Unlock()
+	return t.epoch
+}
+
+// adoptEpoch fast-forwards the run epoch to a peer's: a process that
+// joined (or rejoined) an established mesh must count runs from where
+// the survivors are, so its next Reset lands on the same epoch as
+// theirs.
+func (t *Transport) adoptEpoch(e int64) {
+	t.bmu.Lock()
+	if e > t.epoch {
+		t.epoch = e
+	}
+	t.bmu.Unlock()
 }
 
 // Close tears the transport down: queued frames are flushed behind a
@@ -270,7 +358,8 @@ func (t *Transport) Close() error {
 	t.closeOnce.Do(func() {
 		// Bound the final flush so a wedged peer cannot hang teardown,
 		// and say goodbye as the last frame on each connection.
-		for _, pr := range t.peers {
+		for i := range t.peers {
+			pr := t.peers[i].Load()
 			if pr == nil {
 				continue
 			}
@@ -318,7 +407,7 @@ func (t *Transport) writeLoop(pr *peer) {
 			err = bw.Flush()
 		}
 		if err != nil {
-			t.fail(fmt.Errorf("wire: writing to %s: %w", pr.addr, err))
+			t.failPeer(pr, fmt.Errorf("wire: writing to %s: %v (%w)", pr.addr, err, ErrPeerFailure))
 			return false
 		}
 		return true
@@ -390,8 +479,12 @@ func (t *Transport) readLoop(pr *peer) {
 			select {
 			case <-t.dead: // orderly teardown, not a failure
 			default:
+				if pr.superseded.Load() {
+					return
+				}
+				t.markDead(pr.proc)
 				if !departed {
-					t.fail(fmt.Errorf("wire: connection to %s lost: %w", pr.addr, err))
+					t.fail(fmt.Errorf("wire: connection to %s lost: %v (%w)", pr.addr, err, ErrPeerFailure))
 				}
 			}
 			return
@@ -457,7 +550,7 @@ func (t *Transport) dispatch(f frame) {
 // frame is dropped (and its owned payload released) instead of
 // blocking forever.
 func (t *Transport) enqueue(proc int, f frame) {
-	pr := t.peers[proc]
+	pr := t.peers[proc].Load()
 	if pr == nil {
 		if f.release {
 			machine.Release(f.payload)
@@ -481,10 +574,31 @@ func (t *Transport) enqueue(proc int, f frame) {
 	}
 }
 
+// failPeer records a connection loss against its peer process (so
+// Recover knows what to rebuild) and raises the transport failure —
+// unless the connection was already superseded by Recover, in which
+// case the stale loop's error is noise.
+func (t *Transport) failPeer(pr *peer, err error) {
+	if pr.superseded.Load() {
+		return
+	}
+	t.markDead(pr.proc)
+	t.fail(err)
+}
+
+// markDead records that a peer process's connection is gone; Recover
+// uses the record to rebuild only what was lost.
+func (t *Transport) markDead(proc int) {
+	t.fmu.Lock()
+	t.deadProc[proc] = true
+	t.fmu.Unlock()
+}
+
 // fail records the first asynchronous transport failure (sticky until
-// the process is torn down) and aborts the run in flight. Once Close
-// has begun it does nothing: peers may legitimately be gone already,
-// and a teardown hiccup must not abort runs still in progress there.
+// the process is torn down or Recover clears it) and aborts the run in
+// flight. Once Close has begun it does nothing: peers may legitimately
+// be gone already, and a teardown hiccup must not abort runs still in
+// progress there.
 func (t *Transport) fail(err error) {
 	select {
 	case <-t.dead:
@@ -541,7 +655,14 @@ func (t *Transport) remoteAbort(epoch int64) {
 	}
 }
 
-var errAbortedByPeer = errors.New("wire: run aborted by a peer process")
+// ErrPeerFailure marks every failure caused by a peer process rather
+// than by this one — a lost connection, a peer's abort broadcast, a
+// barrier starved of a dead peer. Match it with errors.Is on the error
+// Run returns; it is the wire-level signal a retry layer treats as
+// transient (call Recover, then run again).
+var ErrPeerFailure = errors.New("peer process failure")
+
+var errAbortedByPeer = fmt.Errorf("wire: run aborted by a peer process (%w)", ErrPeerFailure)
 
 // Failure implements the machine's failer extension: the sticky
 // connection failure if any, else the per-run peer abort.
@@ -715,7 +836,7 @@ func (t *Transport) BarrierSync() {
 		delete(t.entered, key)
 		t.bmu.Unlock()
 		for pi := range t.peers {
-			if t.peers[pi] != nil {
+			if t.peers[pi].Load() != nil {
 				t.enqueue(pi, frame{kind: kindRelease, src: t.rank, tag: key})
 			}
 		}
@@ -758,7 +879,7 @@ func (t *Transport) waitBarrier(key int64, ready func() bool) {
 		panic(machine.InterruptPanic())
 	}
 	if expired {
-		t.fail(fmt.Errorf("wire: barrier %#x timed out after %v waiting for peers", key, t.recvTimeout))
+		t.fail(fmt.Errorf("wire: barrier %#x timed out after %v waiting for peers (%w)", key, t.recvTimeout, ErrPeerFailure))
 		panic(machine.InterruptPanic())
 	}
 }
@@ -778,7 +899,7 @@ func (t *Transport) Interrupt() {
 	}
 	if !already {
 		for pi := range t.peers {
-			if t.peers[pi] != nil {
+			if t.peers[pi].Load() != nil {
 				t.enqueue(pi, frame{kind: kindAbort, src: t.rank, epoch: epoch})
 			}
 		}
@@ -854,6 +975,127 @@ func (t *Transport) Reset() {
 		t.abortErr = errAbortedByPeer
 		t.fmu.Unlock()
 	}
+}
+
+// Recover heals the mesh after peer-process loss: dead workers are
+// re-execed (when Config.Respawn is set), only the lost connections
+// are rebuilt — survivors keep theirs — and the sticky transport
+// failure is cleared so the next Reset starts a clean run. It is a
+// collective: every surviving process must call it between runs (the
+// engine's retry layer does), each rebuilding its own lost
+// connections, while the rejoining process simply runs New — that
+// dials and accepts exactly the connections the survivors are
+// rebuilding, and adopts their run epoch through the handshake, so its
+// first Reset lands on the same run as their retry. With nothing lost,
+// Recover only clears any recorded failure, so it is always safe to
+// call before a retry.
+func (t *Transport) Recover() error {
+	if len(t.procs) == 1 {
+		t.clearFailure()
+		return nil
+	}
+	t.fmu.Lock()
+	var lost []int
+	for pi, dead := range t.deadProc {
+		if dead {
+			lost = append(lost, pi)
+		}
+	}
+	t.fmu.Unlock()
+	if len(lost) == 0 {
+		t.clearFailure()
+		return nil
+	}
+	if t.respawn != nil {
+		for _, pi := range lost {
+			if err := t.respawn(pi, t.procs[pi]); err != nil {
+				return fmt.Errorf("wire: respawning process %d: %w", pi, err)
+			}
+		}
+	}
+	// Retire the dead connections before rebuilding, so a stale loop
+	// still parked on one can never record a failure against the fresh
+	// mesh.
+	deadSet := make(map[int]bool, len(lost))
+	acceptN := 0
+	for _, pi := range lost {
+		deadSet[pi] = true
+		if pi > t.self {
+			acceptN++
+		}
+		if old := t.peers[pi].Load(); old != nil {
+			old.superseded.Store(true)
+			old.conn.Close()
+			t.peers[pi].Store(nil)
+		}
+	}
+	// Rebuild with the same roles as connect: dial the dead below us,
+	// accept the dead above us (they dial everyone below themselves as
+	// part of their fresh New).
+	conns := make([]net.Conn, len(t.procs))
+	acceptErr := make(chan error, 1)
+	go func() {
+		if d, ok := t.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(time.Now().Add(t.dialT))
+			defer d.SetDeadline(time.Time{})
+		}
+		var scratch []byte
+		var err error
+		for n := acceptN; n > 0; n-- {
+			_, scratch, err = t.acceptPeer(conns, scratch, t.dialT, func(src int) bool { return deadSet[src] })
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+		}
+		acceptErr <- nil
+	}()
+	var dialErr error
+	for _, pi := range lost {
+		if pi >= t.self || dialErr != nil {
+			continue
+		}
+		conns[pi], dialErr = t.dialPeer(pi, t.dialT)
+	}
+	if err := <-acceptErr; dialErr == nil {
+		dialErr = err
+	}
+	if dialErr != nil {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return dialErr
+	}
+	t.fmu.Lock()
+	for _, pi := range lost {
+		t.deadProc[pi] = false
+	}
+	t.fmu.Unlock()
+	for pi, conn := range conns {
+		if conn != nil {
+			t.startPeer(pi, conn)
+		}
+	}
+	t.clearFailure()
+	return nil
+}
+
+// clearFailure forgets a recorded transport failure once the condition
+// behind it has been repaired. Aborts recorded for future runs
+// (pendingAbort beyond the current epoch) are genuine signals for the
+// run they name and are kept.
+func (t *Transport) clearFailure() {
+	t.fmu.Lock()
+	t.failed = nil
+	t.abortErr = nil
+	t.fmu.Unlock()
+	t.bmu.Lock()
+	if t.pendingAbort <= t.epoch {
+		t.pendingAbort = 0
+	}
+	t.bmu.Unlock()
 }
 
 // ctrlWords is the per-rank counter record in a kindCtrl payload:

@@ -21,6 +21,7 @@ func TestConformanceLoopback(t *testing.T) {
 		return &conformance.Cluster{
 			Machines: []*machine.Machine{machine.NewWithTransport(tr)},
 			Cleanup:  func() { tr.Close() },
+			Recover:  tr.Recover,
 		}
 	})
 }
@@ -35,7 +36,31 @@ func TestConformanceUnixSockets(t *testing.T) {
 		for i, tr := range trs {
 			machines[i] = machine.NewWithTransport(tr)
 		}
-		return &conformance.Cluster{Machines: machines, Cleanup: func() { closeAll(trs) }}
+		return &conformance.Cluster{
+			Machines: machines,
+			Cleanup:  func() { closeAll(trs) },
+			Recover: func() error {
+				// Heal every process concurrently: survivors of a lost
+				// peer re-handshake with each other, so serial recovery
+				// would deadlock on the dial/accept pairing.
+				errs := make([]error, len(trs))
+				var wg sync.WaitGroup
+				for i, tr := range trs {
+					wg.Add(1)
+					go func(i int, tr *wire.Transport) {
+						defer wg.Done()
+						errs[i] = tr.Recover()
+					}(i, tr)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
 	})
 }
 

@@ -1,0 +1,94 @@
+package serve
+
+import "time"
+
+// breakerState is one shard's circuit position.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // healthy: batches run on the shard engine
+	breakerOpen                         // tripped: batches degrade to the fallback engine
+	breakerHalfOpen                     // cooling off: one probe batch tests the shard
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-shard circuit breaker over batched executions. It is
+// a pure state machine — the caller supplies the clock — so transitions
+// are deterministic and directly testable. All methods must be called
+// under Server.mu.
+//
+// Lifecycle: closed → (threshold consecutive batch failures) → open →
+// (cooldown elapses) → half-open, which admits exactly one probe batch
+// to the shard engine; the probe's success closes the circuit, its
+// failure re-opens it for another cooldown. While open or waiting on a
+// probe, batches route to the fallback engine instead (or fail fast
+// with ErrShardOpen when no fallback is configured).
+type breaker struct {
+	threshold int           // consecutive failures that trip the circuit
+	cooldown  time.Duration // open dwell before a probe is admitted
+
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe batch is in flight
+}
+
+// route decides where the next batch runs: on the shard engine
+// (primary=true) or degraded (primary=false). probe marks the batch as
+// the half-open trial whose outcome moves the circuit.
+func (b *breaker) route(now time.Time) (primary, probe bool) {
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true, true
+		}
+		return false, false
+	default: // breakerHalfOpen
+		if !b.probing {
+			b.probing = true
+			return true, true
+		}
+		return false, false
+	}
+}
+
+// onResult records the outcome of a batch that ran on the shard engine.
+func (b *breaker) onResult(now time.Time, probe, failed bool) {
+	if probe {
+		b.probing = false
+		if failed {
+			b.state = breakerOpen
+			b.openedAt = now
+		} else {
+			b.state = breakerClosed
+			b.fails = 0
+		}
+		return
+	}
+	if b.state != breakerClosed {
+		return // a stale pre-trip batch; the probe governs now
+	}
+	if !failed {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"cosma"
 )
@@ -35,10 +38,21 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// DeadlineHeader carries a request's remaining time budget in whole
+// milliseconds. When present and positive, the serving context gets
+// that deadline, and it propagates into the batched execution: a batch
+// whose members all carry deadlines is cancelled once the last one
+// expires instead of riding out an engine-side hang. Expiry maps to
+// 504.
+const DeadlineHeader = "X-Cosma-Deadline-Ms"
+
 // Handler returns the server's HTTP API:
 //
 //	POST /v1/multiply — multiply one pair (MultiplyRequest → MultiplyResponse);
-//	                    429 when shedding, 503 while draining, 400 on bad input
+//	                    429 when shedding, 503 while draining or a shard's
+//	                    circuit is open (both with Retry-After), 504 when
+//	                    the X-Cosma-Deadline-Ms budget expires, 400 on bad
+//	                    input
 //	GET  /v1/stats    — the Stats snapshot as JSON
 //	GET  /healthz     — 200 "ok" while accepting, 503 while draining
 func Handler(s *Server) http.Handler {
@@ -54,9 +68,24 @@ func Handler(s *Server) http.Handler {
 			httpError(w, http.StatusBadRequest, s.reject(err))
 			return
 		}
-		c, rep, err := s.Multiply(r.Context(), a, b)
+		ctx := r.Context()
+		if h := r.Header.Get(DeadlineHeader); h != "" {
+			ms, err := strconv.Atoi(h)
+			if err != nil || ms <= 0 {
+				httpError(w, http.StatusBadRequest, s.reject(fmt.Errorf("serve: bad %s %q", DeadlineHeader, h)))
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+			defer cancel()
+		}
+		c, rep, err := s.Multiply(ctx, a, b)
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			status := statusFor(err)
+			if d := s.retryAfter(err); d > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(int((d+time.Second-1)/time.Second)))
+			}
+			httpError(w, status, err)
 			return
 		}
 		writeJSON(w, MultiplyResponse{
@@ -91,16 +120,37 @@ func (req *MultiplyRequest) matrices() (a, b *cosma.Matrix, err error) {
 }
 
 // statusFor maps service errors onto HTTP statuses: shedding is 429
-// (retryable now), draining is 503 (retry another replica), anything
-// else about the request itself is 400.
+// (retryable after the batch window), draining and an open circuit are
+// 503 (retry another replica, or after the cooldown), an expired
+// deadline budget is 504, anything else about the request itself is
+// 400.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrShardOpen):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusBadRequest
+	}
+}
+
+// retryAfter suggests when a rejected request is worth re-sending: one
+// batch window after shedding (the queue drains in window-sized
+// steps), one breaker cooldown after tripping a circuit, and a nominal
+// second while draining (really: go elsewhere). 0 means no header.
+func (s *Server) retryAfter(err error) time.Duration {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return s.opts.batchWindow()
+	case errors.Is(err, ErrShardOpen):
+		return s.opts.breakerCooldown()
+	case errors.Is(err, ErrDraining):
+		return time.Second
+	default:
+		return 0
 	}
 }
 

@@ -31,6 +31,12 @@ var ErrOverloaded = errors.New("serve: overloaded — admission queue full")
 // ErrDraining is returned for requests arriving after Drain began.
 var ErrDraining = errors.New("serve: draining — not accepting new requests")
 
+// ErrShardOpen is returned (mapped to 503 with a Retry-After of the
+// breaker cooldown) when a shape's engine shard has its circuit breaker
+// open and no fallback engine is configured: the shard failed
+// repeatedly and is cooling off before a probe.
+var ErrShardOpen = errors.New("serve: circuit open — engine shard temporarily disabled")
+
 // Options configure a Server. The zero value is usable.
 type Options struct {
 	// Engine options applied to every shard (procs, memory, algorithm,
@@ -52,6 +58,23 @@ type Options struct {
 	// request beyond it is rejected (the HTTP layer maps that to 400),
 	// which keeps one oversized multiplication from starving the mix.
 	MaxDim int
+	// Fallback, when non-nil, are engine options for a degraded
+	// in-process engine that serves a shard's batches while that shard's
+	// circuit breaker is open — e.g. a plain counting-transport engine
+	// standing in for a wire-transport one whose mesh keeps failing.
+	// Without it an open shard fails fast with ErrShardOpen.
+	Fallback []cosma.Option
+	// BreakerThreshold is how many consecutive batch failures open a
+	// shard's circuit; 0 means 5, negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit dwells before
+	// admitting a half-open probe batch; 0 means 5s.
+	BreakerCooldown time.Duration
+	// RetryBudgetRatio is the retry budget accrued per admitted request
+	// (the classic token-bucket retry budget: with 0.1, sustained
+	// retries beyond 10% of traffic exhaust the budget, which /v1/stats
+	// surfaces so operators can see retry amplification). 0 means 0.1.
+	RetryBudgetRatio float64
 }
 
 func (o Options) shards() int {
@@ -89,18 +112,47 @@ func (o Options) maxDim() int {
 	return o.MaxDim
 }
 
+func (o Options) breakerThreshold() int {
+	if o.BreakerThreshold == 0 {
+		return 5
+	}
+	return o.BreakerThreshold
+}
+
+func (o Options) breakerCooldown() time.Duration {
+	if o.BreakerCooldown <= 0 {
+		return 5 * time.Second
+	}
+	return o.BreakerCooldown
+}
+
+func (o Options) retryBudgetRatio() float64 {
+	if o.RetryBudgetRatio <= 0 {
+		return 0.1
+	}
+	return o.RetryBudgetRatio
+}
+
 // Server is the coalescing multiplication service. Create one with
 // New, serve requests through Multiply (or the HTTP handler), and
 // shut down with Drain.
 type Server struct {
 	opts    Options
 	engines []*cosma.Engine
+	// fallback is the degraded engine batches run on while their
+	// shard's breaker is open (Options.Fallback); nil fails fast.
+	fallback *cosma.Engine
+	// clock feeds the breakers; tests substitute a fake for
+	// deterministic transition coverage.
+	clock func() time.Time
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast when queued drops or drain starts
 	buckets  map[shapeKey]*bucket
-	queued   int // admitted, not yet answered
+	breakers []*breaker // per engine shard; nil when disabled
+	queued   int        // admitted, not yet answered
 	draining bool
+	budget   float64 // retry-budget tokens (see RetryBudgetRatio)
 	stats    Stats
 }
 
@@ -117,7 +169,11 @@ type bucket struct {
 
 type request struct {
 	a, b *cosma.Matrix
-	done chan result
+	// deadline is the caller's context deadline (zero when unbounded);
+	// a batch whose members all carry one runs under the latest of
+	// them, so an engine-side hang cannot outlive every waiter.
+	deadline time.Time
+	done     chan result
 }
 
 type result struct {
@@ -138,12 +194,33 @@ type Stats struct {
 	Draining   bool  `json:"draining"`
 	PlanHits   int64 `json:"plan_hits"`   // summed over shards
 	PlanMisses int64 `json:"plan_misses"` // summed over shards
+
+	// ShedByShape breaks Shed down per problem shape ("m×n×k"), so a
+	// single hot shape saturating the queue is visible as such.
+	ShedByShape map[string]int64 `json:"shed_by_shape,omitempty"`
+
+	// Retries counts engine-level re-executions observed across all
+	// answered requests (report attempts beyond the first); RetryBudget
+	// is the remaining token-bucket budget those retries draw down
+	// (accrued at RetryBudgetRatio per admitted request). A budget
+	// pinned at zero means retry amplification exceeds the ratio.
+	Retries     int64   `json:"retries"`
+	RetryBudget float64 `json:"retry_budget"`
+
+	// BreakerOpenShards counts engine shards whose circuit is not
+	// closed (open or probing); FallbackBatches counts batches the
+	// degraded fallback engine served while shards were open; and
+	// BatchFailures counts batch executions that returned an error.
+	BreakerOpenShards int   `json:"breaker_open_shards"`
+	FallbackBatches   int64 `json:"fallback_batches"`
+	BatchFailures     int64 `json:"batch_failures"`
 }
 
 // New builds a server: the engine shards are constructed eagerly so a
 // misconfiguration surfaces here, not on the first request.
 func New(opts Options) (*Server, error) {
-	s := &Server{opts: opts, buckets: make(map[shapeKey]*bucket)}
+	s := &Server{opts: opts, buckets: make(map[shapeKey]*bucket), clock: time.Now}
+	s.stats.ShedByShape = make(map[string]int64)
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < opts.shards(); i++ {
 		eng, err := cosma.NewEngine(opts.Engine...)
@@ -151,6 +228,19 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.engines = append(s.engines, eng)
+		if opts.breakerThreshold() > 0 {
+			s.breakers = append(s.breakers, &breaker{
+				threshold: opts.breakerThreshold(),
+				cooldown:  opts.breakerCooldown(),
+			})
+		}
+	}
+	if opts.Fallback != nil {
+		eng, err := cosma.NewEngine(opts.Fallback...)
+		if err != nil {
+			return nil, fmt.Errorf("building fallback engine: %w", err)
+		}
+		s.fallback = eng
 	}
 	return s, nil
 }
@@ -185,6 +275,9 @@ func (s *Server) Multiply(ctx context.Context, a, b *cosma.Matrix) (*cosma.Matri
 	}
 
 	req := &request{a: a, b: b, done: make(chan result, 1)}
+	if d, ok := ctx.Deadline(); ok {
+		req.deadline = d
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -192,11 +285,17 @@ func (s *Server) Multiply(ctx context.Context, a, b *cosma.Matrix) (*cosma.Matri
 	}
 	if s.queued >= s.opts.queueLimit() {
 		s.stats.Shed++
+		s.stats.ShedByShape[fmt.Sprintf("%d×%d×%d", key.m, key.n, key.k)]++
 		s.mu.Unlock()
 		return nil, nil, ErrOverloaded
 	}
 	s.queued++
 	s.stats.Requests++
+	// Accrue retry budget with admitted traffic, capped at one queue's
+	// worth so long quiet stretches can't bank unbounded tokens.
+	if s.budget += s.opts.retryBudgetRatio(); s.budget > float64(s.opts.queueLimit()) {
+		s.budget = float64(s.opts.queueLimit())
+	}
 	bk := s.buckets[key]
 	if bk == nil {
 		bk = &bucket{key: key}
@@ -263,25 +362,104 @@ func (s *Server) flushLoop(bk *bucket) {
 	}
 }
 
-// execute runs one batch on the shape's engine shard and fans the
-// results back out. The batch context is the server's, not any one
-// caller's: a single abandoned request must not cancel its batchmates.
+// execute runs one batch on the shape's engine shard — or, while the
+// shard's circuit breaker is open, on the degraded fallback engine —
+// and fans the results back out. The batch context is the server's,
+// not any one caller's (a single abandoned request must not cancel its
+// batchmates), except that when every member carries a deadline the
+// batch runs under the latest of them: once no caller is still
+// waiting, an engine-side hang is cancelled rather than ridden out.
 func (s *Server) execute(key shapeKey, batch []*request) {
 	pairs := make([]cosma.Pair, len(batch))
 	for i, req := range batch {
 		pairs[i] = cosma.Pair{A: req.a, B: req.b}
 	}
-	eng := s.engines[key.shard(len(s.engines))]
-	outs, reps, err := eng.MultiplyBatch(context.Background(), pairs)
+	shard := key.shard(len(s.engines))
+	eng := s.engines[shard]
+
+	// Route through the shard's breaker.
+	var br *breaker
+	probe, degraded := false, false
+	if s.breakers != nil {
+		s.mu.Lock()
+		br = s.breakers[shard]
+		var primary bool
+		primary, probe = br.route(s.clock())
+		s.mu.Unlock()
+		if !primary {
+			if s.fallback == nil {
+				s.finish(batch, nil, nil, ErrShardOpen)
+				return
+			}
+			eng, degraded = s.fallback, true
+		}
+	}
+
+	ctx := context.Background()
+	if d, ok := batchDeadline(batch); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, d)
+		defer cancel()
+	}
+	outs, reps, err := eng.MultiplyBatch(ctx, pairs)
+
+	if br != nil && !degraded {
+		// Deadline expiry is the callers' doing, not shard sickness —
+		// don't let it move the circuit.
+		failed := err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+		s.mu.Lock()
+		br.onResult(s.clock(), probe, failed)
+		s.mu.Unlock()
+	}
+	s.finish(batch, outs, reps, err)
+	if degraded {
+		s.mu.Lock()
+		s.stats.FallbackBatches++
+		s.mu.Unlock()
+	}
+}
+
+// batchDeadline returns the latest member deadline when every member
+// has one; a single unbounded member keeps the batch unbounded.
+func batchDeadline(batch []*request) (time.Time, bool) {
+	var latest time.Time
+	for _, req := range batch {
+		if req.deadline.IsZero() {
+			return time.Time{}, false
+		}
+		if req.deadline.After(latest) {
+			latest = req.deadline
+		}
+	}
+	return latest, len(batch) > 0
+}
+
+// finish fans one executed (or shed) batch's results back to the
+// waiting callers, accounts retries against the budget, and releases
+// the queue slots.
+func (s *Server) finish(batch []*request, outs []*cosma.Matrix, reps []*cosma.Report, err error) {
+	var retries int64
 	for i, req := range batch {
 		res := result{err: err}
 		if i < len(outs) && outs[i] != nil {
 			res = result{c: outs[i], rep: reps[i]}
+			if n := res.rep.Attempts - 1; n > 0 {
+				retries += int64(n)
+			}
 		}
 		req.done <- res
 	}
 	s.mu.Lock()
 	s.queued -= len(batch)
+	if err != nil {
+		s.stats.BatchFailures++
+	}
+	if retries > 0 {
+		s.stats.Retries += retries
+		if s.budget -= float64(retries); s.budget < 0 {
+			s.budget = 0
+		}
+	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
@@ -293,6 +471,20 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	st.Queued = s.queued
 	st.Draining = s.draining
+	st.RetryBudget = s.budget
+	if len(s.stats.ShedByShape) > 0 {
+		st.ShedByShape = make(map[string]int64, len(s.stats.ShedByShape))
+		for k, v := range s.stats.ShedByShape {
+			st.ShedByShape[k] = v
+		}
+	} else {
+		st.ShedByShape = nil
+	}
+	for _, br := range s.breakers {
+		if br.state != breakerClosed {
+			st.BreakerOpenShards++
+		}
+	}
 	s.mu.Unlock()
 	for _, eng := range s.engines {
 		cs := eng.CacheStats()

@@ -138,8 +138,12 @@ func TestShedsBeyondQueueLimit(t *testing.T) {
 		t.Fatalf("got %v, want ErrOverloaded", err)
 	}
 	wg.Wait()
-	if st := s.Stats(); st.Shed != 1 {
+	st := s.Stats()
+	if st.Shed != 1 {
 		t.Fatalf("shed = %d, want 1", st.Shed)
+	}
+	if st.ShedByShape["16×16×16"] != 1 {
+		t.Fatalf("shed-by-shape = %v, want 16×16×16: 1", st.ShedByShape)
 	}
 }
 
@@ -279,7 +283,48 @@ func TestHTTPDrainingStatus(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503 while draining", resp.StatusCode)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 carries no Retry-After header")
+	}
 	if hz, err := http.Get(srv.URL + "/healthz"); err != nil || hz.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz while draining: %v %v", hz.StatusCode, err)
+	}
+}
+
+// TestHTTPDeadlineHeader proves the X-Cosma-Deadline-Ms budget
+// propagates: a budget shorter than the coalescing window expires while
+// the request waits for its batch and maps to 504; a malformed value is
+// a 400.
+func TestHTTPDeadlineHeader(t *testing.T) {
+	s := newTestServer(t, Options{BatchWindow: 500 * time.Millisecond})
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	post := func(deadline string) int {
+		t.Helper()
+		body, _ := json.Marshal(MultiplyRequest{M: 2, N: 2, K: 2, A: []float64{1, 2, 3, 4}, B: []float64{1, 2, 3, 4}})
+		req, err := http.NewRequest("POST", srv.URL+"/v1/multiply", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deadline != "" {
+			req.Header.Set(DeadlineHeader, deadline)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if status := post("20"); status != http.StatusGatewayTimeout {
+		t.Fatalf("20ms budget against a 500ms window: status %d, want 504", status)
+	}
+	if status := post("not-a-number"); status != http.StatusBadRequest {
+		t.Fatalf("malformed deadline: status %d, want 400", status)
+	}
+	if status := post("30000"); status != http.StatusOK {
+		t.Fatalf("generous budget: status %d, want 200", status)
 	}
 }

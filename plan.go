@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cosma/internal/algo"
@@ -36,6 +37,17 @@ type Plan struct {
 	// it across all of the engine's plans.
 	sharedMach *machine.Machine
 	execMu     *sync.Mutex
+
+	// Fault-tolerance wiring from the engine (see retry.go): the retry
+	// policy (nil = single attempt), ABFT verification, the transport
+	// recovery hook run between attempts, the engine's closed flag, and
+	// whether the machine's ranks span several OS processes (which
+	// constrains corruption retries — see WithVerification).
+	retry     *RetryPolicy
+	verify    bool
+	recoverFn func() error
+	closed    *atomic.Bool
+	multiProc bool
 
 	// Executor free list. Engine.Exec borrows from here so concurrent
 	// same-shape multiplications each get a machine of their own while
@@ -143,7 +155,7 @@ func (p *Plan) exec(ctx context.Context, a, b *Matrix) (*Matrix, *Report, error)
 	}
 	e := p.acquire()
 	defer p.release(e)
-	return e.Exec(ctx, a, b)
+	return p.runRetry(ctx, e, a, b)
 }
 
 // Executor executes one Plan repeatedly. It owns a pre-built machine

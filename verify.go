@@ -1,0 +1,103 @@
+package cosma
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorruption marks a product that failed ABFT checksum
+// verification (WithVerification): some payload was silently corrupted
+// between the kernels and the gathered result. Match it with errors.Is;
+// the retry classifier treats it as transient.
+var ErrCorruption = errors.New("cosma: silent data corruption detected (ABFT checksum mismatch)")
+
+// VerifyProduct checks C = A·B with Huang–Abraham algorithm-based
+// fault-tolerance checksums: the row sums of C must equal A·(B·e) and
+// the column sums must equal (eᵀ·A)·B, where e is the all-ones vector.
+// Both identities hold exactly in real arithmetic for any C = A·B, so
+// a mismatch beyond floating-point slack means some value of C (or of
+// the communicated panels that produced it) was corrupted in flight.
+// The check costs O(mn + mk + nk) — asymptotically free next to the
+// O(mnk) multiplication — and allocates two k-vectors.
+//
+// The tolerance scales with the accumulated magnitudes |A|·|B|, so
+// legitimate floating-point reassociation passes while any corruption
+// large enough to matter (a flipped exponent bit, a scaled word) is
+// caught. Verification of an exactly-correct product never fails.
+func VerifyProduct(a, b, c *Matrix) error {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if b.Rows != k || c.Rows != m || c.Cols != n {
+		return fmt.Errorf("cosma: verify: inconsistent shapes %d×%d · %d×%d = %d×%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	ops := float64(m + n + k)
+
+	// Row checksums: C·e == A·(B·e), with |A|·(|B|·e) as the magnitude
+	// bound the tolerance scales from.
+	be := make([]float64, k)
+	babs := make([]float64, k)
+	for l := 0; l < k; l++ {
+		row := b.Data[l*b.Stride : l*b.Stride+n]
+		var s, sa float64
+		for _, v := range row {
+			s += v
+			sa += math.Abs(v)
+		}
+		be[l], babs[l] = s, sa
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+k]
+		var want, bound float64
+		for l, v := range arow {
+			want += v * be[l]
+			bound += math.Abs(v) * babs[l]
+		}
+		crow := c.Data[i*c.Stride : i*c.Stride+n]
+		var got float64
+		for _, v := range crow {
+			got += v
+		}
+		if d := math.Abs(got - want); d > checksumTol(bound, ops) {
+			return fmt.Errorf("%w: row %d checksum off by %g", ErrCorruption, i, d)
+		}
+	}
+
+	// Column checksums: eᵀ·C == (eᵀ·A)·B. Reuse be/babs storage for the
+	// column sums of A.
+	ea, eaabs := be, babs
+	for l := range ea {
+		ea[l], eaabs[l] = 0, 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+k]
+		for l, v := range arow {
+			ea[l] += v
+			eaabs[l] += math.Abs(v)
+		}
+	}
+	for j := 0; j < n; j++ {
+		var want, bound float64
+		for l := 0; l < k; l++ {
+			v := b.Data[l*b.Stride+j]
+			want += ea[l] * v
+			bound += eaabs[l] * math.Abs(v)
+		}
+		var got float64
+		for i := 0; i < m; i++ {
+			got += c.Data[i*c.Stride+j]
+		}
+		if d := math.Abs(got - want); d > checksumTol(bound, ops) {
+			return fmt.Errorf("%w: column %d checksum off by %g", ErrCorruption, j, d)
+		}
+	}
+	return nil
+}
+
+// checksumTol is the floating-point slack allowed on one checksum:
+// proportional to the accumulated operand magnitudes and the reduction
+// length, with a generous safety factor over the worst-case rounding
+// model so blocked/reassociated kernels never trip it.
+func checksumTol(bound, ops float64) float64 {
+	return 1e-12 * (ops + 1) * (bound + 1)
+}

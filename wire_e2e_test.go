@@ -5,6 +5,7 @@ import (
 	"context"
 	"os"
 	"os/exec"
+	"sync"
 	"testing"
 	"time"
 
@@ -21,7 +22,9 @@ const (
 	e2eSeed = 7
 	e2eMem  = 1 << 20
 	// e2eModeEnv selects the worker's behavior: "run" executes the
-	// multiplication, "die" joins the mesh and exits abruptly mid-run.
+	// multiplication, "die" joins the mesh and exits abruptly mid-run,
+	// "retry" executes with a WithRetry policy so a lost peer is
+	// survived by Recover-and-re-run rather than reported.
 	e2eModeEnv = "WIRE_TEST_MODE"
 	e2eAlgoEnv = "WIRE_TEST_ALGO"
 )
@@ -37,10 +40,15 @@ func TestWireRankHelper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := cosma.NewEngine(
+	opts := []cosma.Option{
 		cosma.WithProcs(len(cfg.Peers)), cosma.WithMemory(e2eMem),
 		cosma.WithAlgorithm(os.Getenv(e2eAlgoEnv)),
-		cosma.WithWireTransport(cfg), cosma.WithRecvTimeout(time.Minute))
+		cosma.WithWireTransport(cfg), cosma.WithRecvTimeout(time.Minute),
+	}
+	if os.Getenv(e2eModeEnv) == "retry" {
+		opts = append(opts, cosma.WithRetry(cosma.RetryPolicy{MaxAttempts: 3}))
+	}
+	eng, err := cosma.NewEngine(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,4 +198,99 @@ func TestWireKilledPeerAbortsRun(t *testing.T) {
 		cmd.Wait() // survivors fail too (aborted run) — only reap them
 	}
 	t.Logf("killed peer unwound the run in %v: %v", elapsed, err)
+}
+
+// TestWireKilledPeerRecoversAndRetries is the end-to-end fault-tolerance
+// path: one of four worker processes dies mid-run; the launcher's
+// WithRetry loop recovers the mesh — re-execing the dead worker through
+// the Respawn hook and rebuilding only the lost connections — and
+// re-runs; the surviving workers' own retry loops do the same from
+// their side. The retried product must be bitwise-identical to the
+// fault-free in-process run, within 3 attempts.
+func TestWireKilledPeerRecoversAndRetries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	const p = 4
+	peers := cosma.WireSocketAddrs(t.TempDir(), p)
+
+	type worker struct {
+		cmd *exec.Cmd
+		out *bytes.Buffer
+	}
+	var mu sync.Mutex
+	var survivors, respawned []worker
+	for rank := 1; rank < p; rank++ {
+		mode := "retry"
+		if rank == p-1 {
+			mode = "die" // joins the mesh, then exits without a goodbye
+		}
+		cmd, out := spawnWorker(t, rank, peers, "cosma", mode)
+		if mode == "retry" {
+			survivors = append(survivors, worker{cmd, out})
+		}
+	}
+
+	eng, err := cosma.NewEngine(
+		cosma.WithProcs(p), cosma.WithMemory(e2eMem), cosma.WithAlgorithm("cosma"),
+		cosma.WithWireTransport(cosma.WireConfig{
+			Rank: 0, Peers: peers,
+			Respawn: func(proc int, addr string) error {
+				// The dead worker comes back in plain "run" mode: its one
+				// execution is the survivors' retry attempt.
+				cmd, out := spawnWorker(t, proc, peers, "cosma", "run")
+				mu.Lock()
+				respawned = append(respawned, worker{cmd, out})
+				mu.Unlock()
+				return nil
+			},
+		}),
+		cosma.WithRecvTimeout(time.Minute),
+		cosma.WithRetry(cosma.RetryPolicy{MaxAttempts: 3}),
+		cosma.WithVerification(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	a := cosma.RandomMatrix(e2eDim, e2eDim, e2eSeed)
+	b := cosma.RandomMatrix(e2eDim, e2eDim, e2eSeed+1)
+	got, rep, err := eng.Exec(context.Background(), a, b)
+	if err != nil {
+		t.Fatalf("retried wire exec did not recover: %v", err)
+	}
+	if rep.Attempts < 2 || rep.Attempts > 3 {
+		t.Fatalf("attempts = %d, want 2 or 3 (one fault, bounded retries)", rep.Attempts)
+	}
+	for i, w := range survivors {
+		if err := w.cmd.Wait(); err != nil {
+			t.Fatalf("surviving worker %d did not recover: %v\n%s", i+1, err, w.out)
+		}
+	}
+	mu.Lock()
+	back := append([]worker(nil), respawned...)
+	mu.Unlock()
+	if len(back) == 0 {
+		t.Fatal("the Respawn hook was never called")
+	}
+	for i, w := range back {
+		if err := w.cmd.Wait(); err != nil {
+			t.Fatalf("respawned worker %d failed: %v\n%s", i, err, w.out)
+		}
+	}
+
+	inproc, err := cosma.NewEngine(cosma.WithProcs(p), cosma.WithMemory(e2eMem), cosma.WithAlgorithm("cosma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := inproc.Exec(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("word %d: recovered wire product %v != fault-free %v (bitwise mismatch)", i, got.Data[i], want.Data[i])
+		}
+	}
+	t.Logf("recovered in %d attempts, product bitwise-identical", rep.Attempts)
 }
