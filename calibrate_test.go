@@ -8,11 +8,11 @@ import (
 	"cosma/internal/matrix"
 )
 
-// TestPredictTimeConsumesCalibratedGamma is the acceptance guard for
+// TestPredictConsumesCalibratedGamma is the acceptance guard for
 // the measured-γ path: an engine configured with a faster measured γ
 // must predict a strictly lower runtime, and the gap must be exactly
 // the compute term's change (the α and β terms are untouched).
-func TestPredictTimeConsumesCalibratedGamma(t *testing.T) {
+func TestPredictConsumesCalibratedGamma(t *testing.T) {
 	const m, n, k, p, s = 1024, 1024, 1024, 16, 1 << 18
 	base := PizDaintNetwork()
 	fast := base.WithGamma(base.Gamma / 10)
@@ -25,14 +25,15 @@ func TestPredictTimeConsumesCalibratedGamma(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tSlow, err := slowEng.PredictTime(m, n, k)
+	predSlow, err := slowEng.Predict(context.Background(), m, n, k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tFast, err := fastEng.PredictTime(m, n, k)
+	predFast, err := fastEng.Predict(context.Background(), m, n, k)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tSlow, tFast := predSlow.SerialTime, predFast.SerialTime
 	if tFast >= tSlow {
 		t.Fatalf("faster measured γ did not lower prediction: %g ≥ %g", tFast, tSlow)
 	}
@@ -63,10 +64,11 @@ func TestCalibrateFeedsEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pt, err := eng.PredictTime(256, 256, 256)
+	pred, err := eng.Predict(context.Background(), 256, 256, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
+	pt := pred.SerialTime
 	if pt <= 0 {
 		t.Fatalf("predicted time %g", pt)
 	}

@@ -1,0 +1,196 @@
+// Command benchstrassen races CAPS (Strassen over BFS/DFS rank teams,
+// ω = log₂7) against COSMA on the timed transport and emits the result
+// as JSON — the artifact CI archives as BENCH_strassen.json:
+//
+//	benchstrassen [-sizes 512,1024] [-procs 8,16] [-reps 3] [-seed 1]
+//	              [-out BENCH_strassen.json] [-guard-volume 1.0]
+//
+// For every (size, p) pair both engines execute the same seeded square
+// multiplication; the table records effective Gflop/s (classical 2n³
+// flops over mean warm wall-clock, so the two columns compare like with
+// like even though CAPS performs fewer true flops), the event-clock
+// critical path, and the measured per-rank communication volume.
+//
+// The guard encodes the BDHS trade-off rather than a speed win: at
+// simulation scale CAPS buys its sub-cubic flop count with extra
+// communication, so at the largest size its measured MaxVolume must be
+// at least -guard-volume times COSMA's. A ratio below the guard means
+// the CAPS schedule stopped paying for its redistributions — i.e. it
+// silently degenerated to a local run — and the benchmark exits
+// non-zero.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cosma"
+)
+
+// config is one (size, procs) measurement, serialized into the artifact.
+type config struct {
+	Size  int `json:"size"`  // square problem size (m = n = k)
+	Procs int `json:"procs"` // simulated ranks p
+
+	CosmaGflops float64 `json:"cosma_gflops"` // effective, 2n³/wall
+	CapsGflops  float64 `json:"caps_gflops"`  // effective, same numerator
+	CosmaCritMs float64 `json:"cosma_crit_ms"`
+	CapsCritMs  float64 `json:"caps_crit_ms"`
+	CosmaVolume int64   `json:"cosma_volume"` // MaxVolume, words
+	CapsVolume  int64   `json:"caps_volume"`  // MaxVolume, words
+	// VolumeRatio is caps_volume/cosma_volume — the communication price
+	// CAPS pays for its ω = log₂7 flop count at this scale.
+	VolumeRatio float64 `json:"volume_ratio"`
+	CapsGrid    string  `json:"caps_grid"` // e.g. "strassen p=7 B"
+}
+
+// result is the whole benchmark run.
+type result struct {
+	Reps        int      `json:"reps"`
+	Seed        int64    `json:"seed"`
+	Configs     []config `json:"configs"`
+	GuardVolume float64  `json:"guard_volume,omitempty"`
+	// LargestRatio is the volume ratio at the largest size (over all p),
+	// the quantity the guard checks.
+	LargestRatio float64 `json:"largest_size_volume_ratio"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchstrassen: ")
+	sizes := flag.String("sizes", "512,1024", "comma-separated square sizes")
+	procs := flag.String("procs", "8,16", "comma-separated rank counts")
+	reps := flag.Int("reps", 3, "warm repetitions per engine (mean reported)")
+	seed := flag.Int64("seed", 1, "seed for the input matrices")
+	out := flag.String("out", "BENCH_strassen.json", "output JSON path ('-' for stdout)")
+	guard := flag.Float64("guard-volume", 1.0,
+		"fail if CAPS/COSMA MaxVolume at the largest size falls below this (0 disables)")
+	flag.Parse()
+
+	sizeList, err := ints(*sizes)
+	if err != nil {
+		log.Fatalf("-sizes: %v", err)
+	}
+	procList, err := ints(*procs)
+	if err != nil {
+		log.Fatalf("-procs: %v", err)
+	}
+
+	r := result{Reps: *reps, Seed: *seed, GuardVolume: *guard}
+	largest := 0
+	for _, n := range sizeList {
+		for _, p := range procList {
+			c, err := measure(n, p, *reps, *seed)
+			if err != nil {
+				log.Fatalf("n=%d p=%d: %v", n, p, err)
+			}
+			r.Configs = append(r.Configs, c)
+			log.Printf("n=%d p=%d: COSMA %.2f Gflop/s (crit %.2fms, %d words) | CAPS %.2f Gflop/s (crit %.2fms, %d words, %s) | volume ratio %.2f",
+				n, p, c.CosmaGflops, c.CosmaCritMs, c.CosmaVolume,
+				c.CapsGflops, c.CapsCritMs, c.CapsVolume, c.CapsGrid, c.VolumeRatio)
+			if n >= largest {
+				if n > largest {
+					r.LargestRatio = c.VolumeRatio
+					largest = n
+				} else if c.VolumeRatio > r.LargestRatio {
+					r.LargestRatio = c.VolumeRatio
+				}
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	if *guard > 0 && r.LargestRatio < *guard {
+		log.Fatalf("guard failed: CAPS/COSMA volume ratio %.2f at n=%d below %.2f — CAPS stopped paying for its redistributions",
+			r.LargestRatio, largest, *guard)
+	}
+}
+
+// measure runs both engines on one seeded problem and reports means
+// over reps warm executions (the first Exec per engine plans and warms
+// the executor pool off the clock).
+func measure(n, p, reps int, seed int64) (config, error) {
+	a := cosma.RandomMatrix(n, n, seed)
+	b := cosma.RandomMatrix(n, n, seed+1)
+	mem := 3 * n * n / p
+	net := cosma.PizDaintNetwork()
+
+	run := func(algo string) (float64, *cosma.Report, error) {
+		eng, err := cosma.NewEngine(cosma.WithAlgorithm(algo),
+			cosma.WithProcs(p), cosma.WithMemory(mem), cosma.WithNetwork(net))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer eng.Close()
+		// Warm-up: plan, allocate the arena, fill the executor pool.
+		if _, _, err := eng.Exec(context.Background(), a, b); err != nil {
+			return 0, nil, err
+		}
+		var rep *cosma.Report
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, rep, err = eng.Exec(context.Background(), a, b); err != nil {
+				return 0, nil, err
+			}
+		}
+		return time.Since(start).Seconds() / float64(reps), rep, nil
+	}
+
+	cosmaSec, cosmaRep, err := run("cosma")
+	if err != nil {
+		return config{}, fmt.Errorf("cosma: %w", err)
+	}
+	capsSec, capsRep, err := run("caps")
+	if err != nil {
+		return config{}, fmt.Errorf("caps: %w", err)
+	}
+
+	effective := 2 * float64(n) * float64(n) * float64(n) / 1e9
+	c := config{
+		Size: n, Procs: p,
+		CosmaGflops: effective / cosmaSec,
+		CapsGflops:  effective / capsSec,
+		CosmaCritMs: 1e3 * cosmaRep.CritPathTime,
+		CapsCritMs:  1e3 * capsRep.CritPathTime,
+		CosmaVolume: cosmaRep.MaxVolume,
+		CapsVolume:  capsRep.MaxVolume,
+		CapsGrid:    capsRep.Grid,
+	}
+	if c.CosmaVolume > 0 {
+		c.VolumeRatio = float64(c.CapsVolume) / float64(c.CosmaVolume)
+	}
+	return c, nil
+}
+
+// ints parses a comma-separated list of positive integers.
+func ints(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

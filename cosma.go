@@ -16,8 +16,7 @@
 //
 // Repeated same-shape multiplications reuse the cached plan and the
 // engine's pooled executors (pre-built machines and per-rank buffers),
-// so they pay only the execution cost. The one-shot Multiply remains as
-// a deprecated shim.
+// so they pay only the execution cost.
 //
 // The returned report carries the measured per-rank communication
 // volume, which sits within the √S/(√(S+1)−1) factor of the Theorem 2
@@ -25,7 +24,6 @@
 package cosma
 
 import (
-	"context"
 	"math/rand"
 
 	"cosma/internal/algo"
@@ -36,6 +34,7 @@ import (
 	"cosma/internal/machine/wire"
 	"cosma/internal/matrix"
 	"cosma/internal/seq"
+	_ "cosma/internal/strassen" // registers CAPS (Strassen, ω = log₂7)
 )
 
 // Matrix is a dense row-major float64 matrix. One element is one "word"
@@ -48,10 +47,6 @@ type Report = algo.Report
 
 // Model is an algorithm's analytic communication/computation prediction.
 type Model = algo.Model
-
-// Runner is a distributed MMM algorithm (COSMA or a baseline): a planner
-// plus the legacy one-shot Run.
-type Runner = algo.Runner
 
 // UnboundedMemory is the per-rank memory in words treated as "no limit"
 // by option normalization (the schedule never tiles against it).
@@ -223,81 +218,6 @@ func RandomMatrix(r, c int, seed int64) *Matrix {
 	return matrix.Random(r, c, rand.New(rand.NewSource(seed)))
 }
 
-// Options configure a one-shot distributed multiplication.
-//
-// Deprecated: new code should build an Engine with the equivalent
-// functional options (WithProcs, WithMemory, WithDelta, WithNetwork),
-// which adds plan caching, executor reuse, batching and cancellation.
-type Options struct {
-	// Procs is the number of simulated processors (p). Zero means 1.
-	Procs int
-	// Memory is the local memory per processor in words (S). Zero means
-	// unbounded (UnboundedMemory).
-	Memory int
-	// Delta is the grid-fitting idle-rank tolerance δ of §7.1; zero means
-	// the paper's default DefaultDelta.
-	Delta float64
-	// Network, when set, executes on the timed α-β-γ transport and fills
-	// the report's PredictedTime/CritPathTime; nil uses the counting
-	// transport (volumes only).
-	Network *NetworkParams
-	// Overlap software-pipelines the round loop (§7.3), prefetching the
-	// next round's panels while the kernel multiplies the current ones;
-	// the product is bitwise-identical to the synchronous schedule.
-	Overlap bool
-	// Autotune runs the rank-local GEMM kernels with autotuned block
-	// sizes and micro-kernel variant (see WithAutotune).
-	Autotune bool
-}
-
-// Multiply computes C = A·B with COSMA on the simulated distributed
-// machine and reports the measured communication (and, when
-// Options.Network is set, the predicted runtime).
-//
-// Deprecated: Multiply re-plans and re-allocates everything on every
-// call. Build an Engine once and use Engine.Exec, which caches plans
-// and reuses executors across calls.
-func Multiply(a, b *Matrix, opts Options) (*Matrix, *Report, error) {
-	eng, err := NewEngine(engineOptions(opts)...)
-	if err != nil {
-		return nil, nil, err
-	}
-	return eng.Exec(context.Background(), a, b)
-}
-
-// engineOptions translates legacy Options into the engine's functional
-// options, so the deprecated shims and the engine share one
-// normalization path.
-func engineOptions(opts Options) []Option {
-	eopts := []Option{WithProcs(opts.Procs), WithMemory(opts.Memory), WithDelta(opts.Delta), WithOverlap(opts.Overlap), WithAutotune(opts.Autotune)}
-	if opts.Network != nil {
-		eopts = append(eopts, WithNetwork(*opts.Network))
-	}
-	return eopts
-}
-
-// PredictTime returns COSMA's analytic end-to-end runtime in seconds for
-// an m×k by k×n multiplication on p ranks with S words of memory each
-// under the given network: the α-β-γ evaluation of the busiest rank's
-// modeled messages, received words and flops. It evaluates at any scale,
-// including the paper's 18,432-core runs, without executing anything.
-//
-// The grid is fitted through the same engine path as planning, with the
-// default idle tolerance DefaultDelta; configure an Engine with
-// WithDelta and use Engine.PredictTime when a non-default δ should
-// govern both the plan and the prediction.
-func PredictTime(m, n, k, p, s int, net NetworkParams) float64 {
-	eng, err := NewEngine(WithProcs(p), WithMemory(s), WithNetwork(net))
-	if err != nil {
-		panic(err) // unreachable: all inputs are normalized
-	}
-	t, err := eng.PredictTime(m, n, k)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}
-
 // SequentialResult reports an executed near-I/O-optimal sequential
 // multiplication (Listing 1): the product and the exact vertical I/O.
 type SequentialResult struct {
@@ -341,35 +261,10 @@ func ParallelLowerBound(m, n, k, p, s int) float64 {
 // the processor grid and the local-domain geometry of §6.3.
 type Decomposition = algo.Decomposition
 
-// Decompose returns COSMA's decomposition for an m×n×k multiplication
-// on p processors with S words of memory each, without executing
-// anything. A zero delta means DefaultDelta.
-//
-// Deprecated: this is the former cosma.Plan function, renamed when
-// Engine.Plan took the name. Engine.Plan returns the same geometry via
-// Plan.Decomposition along with an executable, cacheable schedule.
-func Decompose(m, n, k, p, s int, delta float64) Decomposition {
-	pl, err := (&core.COSMA{Delta: delta}).Plan(m, n, k, p, s)
-	if err != nil {
-		panic(err)
-	}
-	return pl.(algo.Decomposed).Decomposition()
-}
-
-// Algorithms returns COSMA and the three baselines in the paper's
-// comparison order; each can Run on the simulated machine or produce an
-// analytic Model at any scale.
-func Algorithms() []Runner { return AlgorithmsNet(nil) }
-
-// AlgorithmsNet returns the comparison algorithms configured to execute
-// on the given network — nil for the counting transport, a NetworkParams
-// for the timed transport with runtime predictions in every report.
-// The set is drawn from the name-keyed algorithm registry; use
-// NewEngine(WithAlgorithm(name)) to construct any single registered
-// algorithm (including Cannon, which the comparison set excludes).
-func AlgorithmsNet(net *NetworkParams) []Runner {
-	return algo.Comparison(algo.Config{Network: net})
-}
+// Algorithms returns the canonical names of every registered algorithm
+// in registry order — the valid WithAlgorithm arguments. Equivalent to
+// AlgorithmNames; it replaces the removed Runner-slice Algorithms.
+func Algorithms() []string { return algo.Names() }
 
 // AlgorithmInfo describes one entry of the algorithm registry.
 type AlgorithmInfo struct {
@@ -379,9 +274,9 @@ type AlgorithmInfo struct {
 }
 
 // AlgorithmNames returns the canonical names of every registered
-// algorithm ("cosma", "summa", "2.5d", "carma", "cannon") in the
-// paper's comparison order. Any of them (or their aliases) is a valid
-// WithAlgorithm argument.
+// algorithm ("cosma", "summa", "2.5d", "carma", "cannon", "caps") in
+// the paper's comparison order followed by the extras. Any of them (or
+// their aliases) is a valid WithAlgorithm argument.
 func AlgorithmNames() []string { return algo.Names() }
 
 // AlgorithmInfos returns name, aliases and a one-line summary for every

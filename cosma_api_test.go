@@ -5,25 +5,33 @@ import (
 	"testing"
 )
 
-func TestMultiplyDefaults(t *testing.T) {
-	a := RandomMatrix(20, 30, 1)
-	b := RandomMatrix(30, 10, 2)
-	got, rep, err := Multiply(a, b, Options{})
+// execOnce is the test shorthand for a one-shot engine multiplication.
+func execOnce(t *testing.T, a, b *Matrix, opts ...Option) (*Matrix, *Report) {
+	t.Helper()
+	eng, err := NewEngine(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	got, rep, err := eng.Exec(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, rep
+}
+
+func TestExecDefaults(t *testing.T) {
+	a := RandomMatrix(20, 30, 1)
+	b := RandomMatrix(30, 10, 2)
+	got, rep := execOnce(t, a, b)
 	if rep.P != 1 || got.Rows != 20 || got.Cols != 10 {
 		t.Fatalf("defaults: p=%d dims %d×%d", rep.P, got.Rows, got.Cols)
 	}
 }
 
-func TestMultiplyParallelMatchesSequential(t *testing.T) {
+func TestExecParallelMatchesSequential(t *testing.T) {
 	a := RandomMatrix(32, 24, 3)
 	b := RandomMatrix(24, 40, 4)
-	par, _, err := Multiply(a, b, Options{Procs: 8, Memory: 1 << 16})
-	if err != nil {
-		t.Fatal(err)
-	}
+	par, _ := execOnce(t, a, b, WithProcs(8), WithMemory(1<<16))
 	sq := MultiplySequential(a, b, 64)
 	var maxd float64
 	for i := range par.Data {
@@ -82,41 +90,43 @@ func TestPlanFigure5(t *testing.T) {
 	if d.Rounds < 1 || d.StepSize < 1 {
 		t.Fatalf("degenerate rounds: %v", d)
 	}
-	// The deprecated Decompose shim must agree with the engine's plan.
-	if shim := Decompose(4096, 4096, 4096, 65, 1<<22, 0); shim != d {
-		t.Fatalf("Decompose %v disagrees with engine plan %v", shim, d)
-	}
 }
 
 func TestAlgorithmsAgree(t *testing.T) {
 	a := RandomMatrix(16, 16, 7)
 	b := RandomMatrix(16, 16, 8)
-	want, _, err := Multiply(a, b, Options{Procs: 4, Memory: 1 << 16})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, r := range Algorithms() {
-		got, _, err := r.Run(a, b, 4, 1<<16)
-		if err != nil {
-			t.Fatalf("%s: %v", r.Name(), err)
-		}
+	want, _ := execOnce(t, a, b, WithProcs(4), WithMemory(1<<16))
+	for _, name := range Algorithms() {
+		got, _ := execOnce(t, a, b, WithAlgorithm(name), WithProcs(4), WithMemory(1<<16))
 		for i := range got.Data {
 			d := got.Data[i] - want.Data[i]
 			if d > 1e-9 || d < -1e-9 {
-				t.Fatalf("%s disagrees at %d by %g", r.Name(), i, d)
+				t.Fatalf("%s disagrees at %d by %g", name, i, d)
 			}
 		}
 	}
 }
 
-func TestMultiplyOnTimedNetwork(t *testing.T) {
+func TestAlgorithmsListsRegistry(t *testing.T) {
+	names := Algorithms()
+	if len(names) != len(AlgorithmNames()) {
+		t.Fatalf("Algorithms() = %v disagrees with AlgorithmNames() = %v", names, AlgorithmNames())
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{"cosma", "summa", "2.5d", "carma", "cannon", "caps"} {
+		if !seen[want] {
+			t.Fatalf("registry names %v miss %q", names, want)
+		}
+	}
+}
+
+func TestExecOnTimedNetwork(t *testing.T) {
 	a := RandomMatrix(32, 32, 1)
 	b := RandomMatrix(32, 32, 2)
-	net := PizDaintNetwork()
-	got, rep, err := Multiply(a, b, Options{Procs: 4, Memory: 1 << 16, Network: &net})
-	if err != nil {
-		t.Fatal(err)
-	}
+	got, rep := execOnce(t, a, b, WithProcs(4), WithMemory(1<<16), WithNetwork(PizDaintNetwork()))
 	if rep.Network != "pizdaint" {
 		t.Fatalf("report network %q", rep.Network)
 	}
@@ -125,10 +135,7 @@ func TestMultiplyOnTimedNetwork(t *testing.T) {
 	}
 	// The result must be identical to the counting-transport run: timing
 	// is an overlay, not a behavioral change.
-	plain, plainRep, err := Multiply(a, b, Options{Procs: 4, Memory: 1 << 16})
-	if err != nil {
-		t.Fatal(err)
-	}
+	plain, plainRep := execOnce(t, a, b, WithProcs(4), WithMemory(1<<16))
 	for i := range got.Data {
 		if got.Data[i] != plain.Data[i] {
 			t.Fatalf("timed result differs at %d", i)
@@ -142,12 +149,26 @@ func TestMultiplyOnTimedNetwork(t *testing.T) {
 	}
 }
 
-func TestPredictTimeScales(t *testing.T) {
+// predictSerial is the test shorthand for a one-shot Predict.
+func predictSerial(t *testing.T, m, n, k, p, s int, net NetworkParams) float64 {
+	t.Helper()
+	eng, err := NewEngine(WithProcs(p), WithMemory(s), WithNetwork(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := eng.Predict(context.Background(), m, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred.SerialTime
+}
+
+func TestPredictScales(t *testing.T) {
 	net := PizDaintNetwork()
 	// At the paper's scale, more memory per rank must not slow COSMA
 	// down, and the prediction must be positive and finite.
-	small := PredictTime(16384, 16384, 16384, 1024, 1<<22, net)
-	big := PredictTime(16384, 16384, 16384, 1024, 1<<27, net)
+	small := predictSerial(t, 16384, 16384, 16384, 1024, 1<<22, net)
+	big := predictSerial(t, 16384, 16384, 16384, 1024, 1<<27, net)
 	if small <= 0 || big <= 0 {
 		t.Fatalf("nonpositive predictions %v %v", small, big)
 	}
@@ -156,9 +177,40 @@ func TestPredictTimeScales(t *testing.T) {
 	}
 	// A latency-heavy network must predict a slower run than shared
 	// memory for the same problem.
-	if eth, shm := PredictTime(512, 512, 512, 16, 1<<16, EthernetNetwork()),
-		PredictTime(512, 512, 512, 16, 1<<16, SharedMemoryNetwork()); eth <= shm {
+	if eth, shm := predictSerial(t, 512, 512, 512, 16, 1<<16, EthernetNetwork()),
+		predictSerial(t, 512, 512, 512, 16, 1<<16, SharedMemoryNetwork()); eth <= shm {
 		t.Fatalf("ethernet %v not slower than shared memory %v", eth, shm)
+	}
+}
+
+func TestPredictFields(t *testing.T) {
+	eng, err := NewEngine(WithProcs(16), WithMemory(1<<16), WithNetwork(PizDaintNetwork()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := eng.Predict(context.Background(), 512, 512, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Omega != 3 {
+		t.Fatalf("classical ω = %v, want 3", pred.Omega)
+	}
+	if pred.OverlapTime > pred.SerialTime {
+		t.Fatalf("overlapped %v exceeds serial %v", pred.OverlapTime, pred.SerialTime)
+	}
+	if pred.Volume <= 0 || pred.SerialTime <= 0 {
+		t.Fatalf("degenerate prediction %+v", pred)
+	}
+	if want := ParallelLowerBound(512, 512, 512, 16, 1<<16); pred.LowerBound != want {
+		t.Fatalf("classical lower bound %v, want Theorem 2's %v", pred.LowerBound, want)
+	}
+	// Without a network, Predict must refuse rather than guess.
+	plain, err := NewEngine(WithProcs(16), WithMemory(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Predict(context.Background(), 512, 512, 512); err == nil {
+		t.Fatal("Predict without WithNetwork must error")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cosma/internal/algo"
+	"cosma/internal/bound"
 	"cosma/internal/lru"
 	"cosma/internal/machine"
 	"cosma/internal/machine/wire"
@@ -610,35 +611,58 @@ func hostsRankZero(m *machine.Machine) bool {
 	return false
 }
 
-// PredictTime returns the engine's analytic end-to-end runtime in
-// seconds for an m×k by k×n multiplication on its network: the α-β-γ
-// evaluation of the plan's model with communication and computation
-// charged serially. It shares the plan cache — and therefore the exact
-// grid — with Plan and Exec, and requires WithNetwork. Use PredictTimes
-// for the serial and overlapped predictions together.
-func (e *Engine) PredictTime(m, n, k int) (float64, error) {
-	serial, _, err := e.PredictTimes(m, n, k)
-	return serial, err
+// Prediction is the engine's analytic forecast for one problem shape —
+// everything the α-β-γ evaluation of the plan's model yields, in one
+// struct, sourced from the same cached plan (and therefore the exact
+// grid) as Exec.
+type Prediction struct {
+	// SerialTime charges communication and computation sequentially:
+	// γ·MaxFlops + β·MaxRecv + α·MaxMsgs, in seconds.
+	SerialTime float64
+	// OverlapTime hides them behind each other (the §7.3 pipelining
+	// WithOverlap executes): max(γ·MaxFlops, β·MaxRecv + α·MaxMsgs).
+	// OverlapTime ≤ SerialTime always; their ratio is the predicted
+	// Figure 12 gain.
+	OverlapTime float64
+	// Volume is the modeled received words on the busiest rank.
+	Volume float64
+	// LowerBound is the per-rank communication lower bound for the
+	// plan's arithmetic exponent: Theorem 2 for classical algorithms,
+	// the BDHS bound N^ω/(p·S^{ω/2−1}) for CAPS.
+	LowerBound float64
+	// Omega is the plan's arithmetic exponent: 3 for the five classical
+	// algorithms, log₂ 7 for CAPS.
+	Omega float64
 }
 
-// PredictTimes returns both analytic end-to-end runtimes for an m×k by
-// k×n multiplication on the engine's network: serial charges
-// communication and computation sequentially (γ·MaxFlops + β·MaxRecv +
-// α·MaxMsgs), overlapped hides them behind each other (the §7.3
-// pipelining WithOverlap executes), so overlapped ≤ serial always and
-// their ratio is the predicted Figure 12 gain. Both read the same
-// cached plan as Plan and Exec; requires WithNetwork.
-func (e *Engine) PredictTimes(m, n, k int) (serial, overlapped float64, err error) {
+// Predict returns the engine's analytic forecast for an m×k by k×n
+// multiplication on its network: the serial and overlapped end-to-end
+// runtimes, the modeled critical-path volume, the communication lower
+// bound at the plan's arithmetic exponent, and the exponent itself.
+// It reads the same cached plan as Plan and Exec — the engine never
+// describes two different grids for one problem — and evaluates at any
+// scale, including the paper's 18,432-core runs, without executing
+// anything. Requires WithNetwork.
+func (e *Engine) Predict(ctx context.Context, m, n, k int) (Prediction, error) {
 	if e.cfg.network == nil {
-		return 0, 0, fmt.Errorf("cosma: PredictTimes needs a network; configure the engine with WithNetwork")
+		return Prediction{}, fmt.Errorf("cosma: Predict needs a network; configure the engine with WithNetwork")
 	}
-	plan, err := e.Plan(context.Background(), m, n, k)
+	plan, err := e.Plan(ctx, m, n, k)
 	if err != nil {
-		return 0, 0, err
+		return Prediction{}, err
 	}
 	mod := plan.Model()
-	return e.cfg.network.Time(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs),
-		e.cfg.network.TimeOverlap(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs), nil
+	omega := 3.0
+	if ex, ok := plan.inner.(algo.Exponent); ok {
+		omega = ex.Omega()
+	}
+	return Prediction{
+		SerialTime:  e.cfg.network.Time(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs),
+		OverlapTime: e.cfg.network.TimeOverlap(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs),
+		Volume:      mod.MaxRecv,
+		LowerBound:  bound.FastLowerBound(m, n, k, e.cfg.procs, e.cfg.memory, omega),
+		Omega:       omega,
+	}, nil
 }
 
 // CacheStats is a snapshot of the engine's plan-cache accounting.

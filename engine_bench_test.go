@@ -39,16 +39,25 @@ func BenchmarkEngineExecWarm(b *testing.B) {
 	}
 }
 
-// BenchmarkMultiplyOneShot measures the deprecated one-shot path, which
-// re-plans and rebuilds the machine on every call.
+// oneShot builds a fresh engine and multiplies once — the cost of not
+// amortizing: re-planning and rebuilding the machine on every call.
+func oneShot(a, b *Matrix) error {
+	eng, err := NewEngine(WithProcs(benchProcs), WithMemory(benchMem))
+	if err != nil {
+		return err
+	}
+	_, _, err = eng.Exec(context.Background(), a, b)
+	return err
+}
+
+// BenchmarkMultiplyOneShot measures the unamortized one-shot path.
 func BenchmarkMultiplyOneShot(b *testing.B) {
 	a := RandomMatrix(benchDim, benchDim, 1)
 	bb := RandomMatrix(benchDim, benchDim, 2)
-	opts := Options{Procs: benchProcs, Memory: benchMem}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Multiply(a, bb, opts); err != nil {
+		if err := oneShot(a, bb); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,8 +65,8 @@ func BenchmarkMultiplyOneShot(b *testing.B) {
 
 // TestWarmExecAllocatesLessThanOneShot is the benchmark guard of the
 // engine acceptance criterion: on 256³ with p = 16, Exec on a warm plan
-// with a reused executor must allocate strictly less per call than the
-// one-shot Multiply.
+// with a reused executor must allocate strictly less per call than a
+// one-shot engine.
 func TestWarmExecAllocatesLessThanOneShot(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation guard runs full 256³ multiplications")
@@ -83,15 +92,15 @@ func TestWarmExecAllocatesLessThanOneShot(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	oneShot := testing.AllocsPerRun(3, func() {
-		if _, _, err := Multiply(a, b, Options{Procs: benchProcs, Memory: benchMem}); err != nil {
+	cold := testing.AllocsPerRun(3, func() {
+		if err := oneShot(a, b); err != nil {
 			t.Fatal(err)
 		}
 	})
-	if warm >= oneShot {
-		t.Fatalf("warm Exec allocates %.0f allocs/op, one-shot Multiply %.0f — want strictly fewer",
-			warm, oneShot)
+	if warm >= cold {
+		t.Fatalf("warm Exec allocates %.0f allocs/op, one-shot engine %.0f — want strictly fewer",
+			warm, cold)
 	}
-	t.Logf("allocs/op: warm Exec %.0f vs one-shot Multiply %.0f (%.1f%% of one-shot)",
-		warm, oneShot, 100*warm/oneShot)
+	t.Logf("allocs/op: warm Exec %.0f vs one-shot engine %.0f (%.1f%% of one-shot)",
+		warm, cold, 100*warm/cold)
 }

@@ -122,14 +122,14 @@ func TestEngineExecCancellation(t *testing.T) {
 	}
 }
 
-// TestRegistryReachableByName exercises COSMA and all four baselines
-// end-to-end through WithAlgorithm, by canonical name and alias.
+// TestRegistryReachableByName exercises COSMA, the four baselines and
+// CAPS end-to-end through WithAlgorithm, by canonical name and alias.
 func TestRegistryReachableByName(t *testing.T) {
 	// 16×16×16 on p=4: Cannon's q=2 divides everything.
 	a := RandomMatrix(16, 16, 3)
 	b := RandomMatrix(16, 16, 4)
 	want := reference(a, b)
-	names := []string{"cosma", "summa", "2.5d", "carma", "cannon", "scalapack", "ctf", "CARMA"}
+	names := []string{"cosma", "summa", "2.5d", "carma", "cannon", "caps", "scalapack", "ctf", "CARMA", "strassen"}
 	for _, name := range names {
 		eng, err := NewEngine(WithProcs(4), WithMemory(1<<16), WithAlgorithm(name))
 		if err != nil {
@@ -143,10 +143,10 @@ func TestRegistryReachableByName(t *testing.T) {
 			t.Fatalf("%s (%s) disagrees with reference", name, rep.Name)
 		}
 	}
-	if got := AlgorithmNames(); len(got) != 5 || got[0] != "cosma" {
+	if got := AlgorithmNames(); len(got) != 6 || got[0] != "cosma" || got[5] != "caps" {
 		t.Fatalf("AlgorithmNames() = %v", got)
 	}
-	if _, err := NewEngine(WithAlgorithm("strassen")); err == nil ||
+	if _, err := NewEngine(WithAlgorithm("winograd")); err == nil ||
 		!strings.Contains(err.Error(), "unknown algorithm") {
 		t.Fatalf("unknown algorithm error = %v", err)
 	}
@@ -234,9 +234,9 @@ func TestMultiplyBatch(t *testing.T) {
 	}
 }
 
-// TestPredictTimeSharesThePlanGrid is the delta-consistency fix: the
+// TestPredictSharesThePlanGrid is the delta-consistency fix: the
 // same engine (and δ) must govern both planning and time prediction.
-func TestPredictTimeSharesThePlanGrid(t *testing.T) {
+func TestPredictSharesThePlanGrid(t *testing.T) {
 	net := PizDaintNetwork()
 	eng, err := NewEngine(WithProcs(65), WithMemory(1<<22), WithDelta(0.03), WithNetwork(net))
 	if err != nil {
@@ -246,24 +246,24 @@ func TestPredictTimeSharesThePlanGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred, err := eng.PredictTime(4096, 4096, 4096)
+	pred, err := eng.Predict(context.Background(), 4096, 4096, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mod := plan.Model()
-	if want := net.Time(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs); pred != want {
-		t.Fatalf("PredictTime %v disagrees with the plan's model %v", pred, want)
+	if want := net.Time(mod.MaxFlops, mod.MaxRecv, mod.MaxMsgs); pred.SerialTime != want {
+		t.Fatalf("Predict %v disagrees with the plan's model %v", pred.SerialTime, want)
 	}
 	if stats := eng.CacheStats(); stats.Misses != 1 {
-		t.Fatalf("PredictTime re-planned: %+v", stats)
+		t.Fatalf("Predict re-planned: %+v", stats)
 	}
 	// Without a network the engine refuses rather than guessing.
 	plain, err := NewEngine(WithProcs(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plain.PredictTime(64, 64, 64); err == nil {
-		t.Fatal("PredictTime without WithNetwork must error")
+	if _, err := plain.Predict(context.Background(), 64, 64, 64); err == nil {
+		t.Fatal("Predict without WithNetwork must error")
 	}
 }
 

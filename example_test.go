@@ -50,13 +50,21 @@ func ExampleEngine_Plan() {
 	// grid [2×2×4] (16 ranks), domain [256×256×128], 1 rounds of 128
 }
 
-// ExamplePredictTime evaluates the analytic α-β-γ runtime at the
+// ExampleEngine_Predict evaluates the analytic α-β-γ runtime at the
 // paper's 18,432-core scale — far too large to execute — on the
 // Piz-Daint-like network preset.
-func ExamplePredictTime() {
-	net := cosma.PizDaintNetwork()
-	t := cosma.PredictTime(16384, 16384, 16384, 18432, 1<<25, net)
-	fmt.Printf("predicted %.1f ms\n", t*1e3)
+func ExampleEngine_Predict() {
+	eng, err := cosma.NewEngine(
+		cosma.WithProcs(18432), cosma.WithMemory(1<<25),
+		cosma.WithNetwork(cosma.PizDaintNetwork()))
+	if err != nil {
+		panic(err)
+	}
+	pred, err := eng.Predict(context.Background(), 16384, 16384, 16384)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("predicted %.1f ms at ω=%.0f\n", pred.SerialTime*1e3, pred.Omega)
 	// Output:
-	// predicted 55.7 ms
+	// predicted 55.7 ms at ω=3
 }

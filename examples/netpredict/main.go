@@ -36,7 +36,16 @@ func main() {
 	}
 
 	// Paper scale, analytically: Table 4's square strong-scaling point.
-	net := cosma.PizDaintNetwork()
-	t := cosma.PredictTime(16384, 16384, 16384, 18432, 1<<25, net)
-	fmt.Printf("\nCOSMA m=n=k=16384 on p=18432 (Piz-Daint-like): predicted %.1f ms\n", t*1e3)
+	eng, err := cosma.NewEngine(
+		cosma.WithProcs(18432), cosma.WithMemory(1<<25),
+		cosma.WithNetwork(cosma.PizDaintNetwork()))
+	if err != nil {
+		panic(err)
+	}
+	pred, err := eng.Predict(ctx, 16384, 16384, 16384)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nCOSMA m=n=k=16384 on p=18432 (Piz-Daint-like): predicted %.1f ms (ω=%.3f)\n",
+		pred.SerialTime*1e3, pred.Omega)
 }

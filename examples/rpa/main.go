@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,14 +25,21 @@ func main() {
 	fmt.Printf("RPA w=2: C(%d×%d) = A(%d×%d) · B(%d×%d) on %d ranks\n\n",
 		m, n, m, k, k, n, procs)
 
+	ctx := context.Background()
 	a := cosma.RandomMatrix(m, k, 1)
 	b := cosma.RandomMatrix(k, n, 2)
 	executed := report.NewTable("executed on the simulated machine",
 		"algorithm", "grid", "avg recv words/rank", "max msgs")
-	for _, r := range cosma.Algorithms() {
-		_, rep, err := r.Run(a, b, procs, memory)
+	for _, name := range cosma.Algorithms() {
+		eng, err := cosma.NewEngine(cosma.WithAlgorithm(name),
+			cosma.WithProcs(procs), cosma.WithMemory(memory))
 		if err != nil {
-			log.Printf("%s: %v", r.Name(), err)
+			log.Printf("%s: %v", name, err)
+			continue
+		}
+		_, rep, err := eng.Exec(ctx, a, b)
+		if err != nil {
+			log.Printf("%s: %v", name, err)
 			continue
 		}
 		executed.AddRow(rep.Name, rep.Grid, rep.AvgRecv, rep.MaxMsgs)
@@ -45,8 +53,19 @@ func main() {
 	fmt.Printf("RPA w=128 (paper's strong-scaling workload): %d×%d×%d on %d cores\n\n", M, N, K, P)
 	atScale := report.NewTable("model at paper scale",
 		"algorithm", "decomposition", "MB received/rank")
-	for _, r := range cosma.Algorithms() {
-		mod := r.Model(M, N, K, P, S)
+	for _, name := range cosma.Algorithms() {
+		eng, err := cosma.NewEngine(cosma.WithAlgorithm(name),
+			cosma.WithProcs(P), cosma.WithMemory(S))
+		if err != nil {
+			log.Printf("%s: %v", name, err)
+			continue
+		}
+		pl, err := eng.Plan(ctx, M, N, K)
+		if err != nil {
+			log.Printf("%s: %v", name, err)
+			continue
+		}
+		mod := pl.Model()
 		atScale.AddRow(mod.Name, mod.Grid, mod.AvgRecv*8/1e6)
 	}
 	fmt.Println(atScale.String())

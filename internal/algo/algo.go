@@ -107,6 +107,14 @@ type Overlapper interface {
 	Overlap() bool
 }
 
+// Exponent is implemented by plans of algorithms whose arithmetic
+// exponent differs from the classical ω = 3 — CAPS Strassen's
+// ω = log₂ 7. Engine.Predict reads it to report exponent-aware
+// bandwidth bounds; plans without it are classical.
+type Exponent interface {
+	Omega() float64
+}
+
 // Runner is a distributed MMM algorithm as the legacy one-shot API saw
 // it: a Planner whose Run method plans, builds a fresh machine and
 // executes in one call (via RunPlanner). New code should plan once and

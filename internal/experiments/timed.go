@@ -9,6 +9,7 @@ import (
 	"cosma/internal/machine"
 	"cosma/internal/matrix"
 	"cosma/internal/report"
+	"cosma/internal/strassen"
 )
 
 // TimeVsVolume executes COSMA and every baseline (including Cannon where
@@ -21,7 +22,10 @@ import (
 // algorithms with a pipelined round loop (COSMA, SUMMA) run with
 // overlap enabled, so the comparison is overlapped against overlapped —
 // no algorithm gains an artificial edge from the others executing
-// serially.
+// serially. CAPS rides along as the sub-cubic contender: its ω = log₂7
+// flop count shrinks the "predicted" column while its Strassen
+// redistribution inflates "max words/rank" — the crossover the BDHS
+// analysis predicts.
 func TimeVsVolume(net machine.NetworkParams) *report.Table {
 	t := report.NewTable(
 		fmt.Sprintf("Time vs volume on the %q network — executed at simulation scale (Figure 6 shape)", net.Name),
@@ -32,7 +36,8 @@ func TimeVsVolume(net machine.NetworkParams) *report.Table {
 	b := matrix.Random(n, n, rng)
 	for _, p := range []int{4, 16, 64} {
 		s := 3 * n * n / p
-		runners := append(RunnersOverlap(&net), baselines.Cannon{Network: &net})
+		runners := append(RunnersOverlap(&net),
+			baselines.Cannon{Network: &net}, strassen.CAPS{Network: &net})
 		for _, r := range runners {
 			_, rep, err := r.Run(a, b, p, s)
 			if err != nil {

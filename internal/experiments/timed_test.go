@@ -64,9 +64,9 @@ func TestTimedOrderingMatchesVolume(t *testing.T) {
 
 func TestTimeVsVolumeTable(t *testing.T) {
 	tab := TimeVsVolume(machine.CommodityEthernet())
-	// 3 core counts × 5 algorithms (Cannon included at every p here).
-	if tab.Rows() != 15 {
-		t.Fatalf("timevolume has %d rows, want 15", tab.Rows())
+	// 3 core counts × 6 algorithms (Cannon and CAPS included at every p).
+	if tab.Rows() != 18 {
+		t.Fatalf("timevolume has %d rows, want 18", tab.Rows())
 	}
 }
 

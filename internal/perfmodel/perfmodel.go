@@ -109,6 +109,39 @@ func (mach Machine) Evaluate(mod algo.Model, m, n, k, p int) Result {
 	}
 }
 
+// EvaluateOmega is Evaluate generalized to arithmetic exponent ω: the
+// %-peak denominator's useful work becomes 2·N^ω with N = (mnk)^{1/3},
+// so a Strassen-family model is scored against the work it actually
+// performs rather than the classical 2mnk. ω = 3 delegates to Evaluate,
+// keeping every classical result bitwise-unchanged.
+func (mach Machine) EvaluateOmega(mod algo.Model, m, n, k, p int, omega float64) Result {
+	if omega == 3 {
+		return mach.Evaluate(mod, m, n, k, p)
+	}
+	if p < 1 {
+		panic(fmt.Sprintf("perfmodel: p = %d", p))
+	}
+	compute := mod.MaxFlops / mach.PeakFlops
+	comms := mod.MaxRecv/mach.Bandwidth + mod.MaxMsgs*mach.Latency
+	var t float64
+	if mach.Overlap {
+		t = math.Max(compute, comms)
+	} else {
+		t = compute + comms
+	}
+	useful := 2 * math.Pow(math.Cbrt(float64(m)*float64(n)*float64(k)), omega)
+	pct := 100 * useful / (t * mach.PeakFlops * float64(p))
+	return Result{
+		Name:        mod.Name,
+		TimeSec:     t,
+		PctPeak:     pct,
+		ComputeSec:  compute,
+		CommSec:     comms,
+		CommWords:   mod.MaxRecv,
+		CommPerRank: mod.AvgRecv,
+	}
+}
+
 // Breakdown splits a model's predicted time into the Figure 12
 // categories: computation, input (A and B) communication, and output (C)
 // communication, for both overlap settings.

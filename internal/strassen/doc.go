@@ -1,0 +1,30 @@
+// Package strassen implements CAPS — the Communication-Optimal
+// Parallel Strassen algorithm of Ballard, Demmel, Holtz and Schwartz —
+// as the sixth registered algorithm of the suite, and the first whose
+// arithmetic exponent ω = log₂ 7 beats the classical Ω(n³/(P√M))
+// bandwidth bound that the source paper's red-blue pebbling analysis
+// establishes for cubic algorithms.
+//
+// CAPS walks Strassen's 7-multiply recursion tree with two kinds of
+// steps:
+//
+//   - a BFS step splits the rank team 7 ways, one subteam per Strassen
+//     subproblem M₁…M₇, and redistributes the operand combinations
+//     (A₁₁+A₂₂, B₂₁−B₁₁, …) onto each subteam. All seven subproblems
+//     proceed in parallel; per-rank memory grows by 7/4.
+//   - a DFS step keeps the whole team and runs the seven subproblems
+//     sequentially. Memory shrinks by 4 at the price of serialization,
+//     so DFS steps are interleaved exactly when a BFS step would
+//     overflow the per-rank memory S.
+//
+// Teams bottom out at single ranks, which recurse locally through the
+// same 7-multiply scheme until the subproblem falls below a tunable
+// cutoff and the packed SIMD kernel takes over. The resulting flop
+// count is Θ(n^ω/P) and the communication volume matches the CAPS
+// bandwidth bound W = Θ(n^ω/(P·M^(ω/2−1))).
+//
+// Like CARMA's power-of-two restriction, CAPS requires a power-of-seven
+// team: p − 7^⌊log₇ p⌋ ranks idle. Odd dimensions stop the distributed
+// recursion (no padding is performed); shapes without a 2^l factor
+// degrade gracefully toward fewer levels.
+package strassen

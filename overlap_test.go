@@ -90,34 +90,27 @@ func TestEngineOverlapTimedReport(t *testing.T) {
 	}
 }
 
-// TestPredictTimes checks the two analytic predictions against each
-// other and against PredictTime (which stays the serial evaluation).
-func TestPredictTimes(t *testing.T) {
+// TestPredictOverlap checks the two analytic predictions of Predict
+// against each other.
+func TestPredictOverlap(t *testing.T) {
 	eng, err := NewEngine(WithProcs(16), WithNetwork(PizDaintNetwork()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, overlapped, err := eng.PredictTimes(512, 512, 512)
+	pred, err := eng.Predict(context.Background(), 512, 512, 512)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if overlapped <= 0 || serial <= 0 || overlapped > serial {
-		t.Errorf("PredictTimes = (%v, %v), want 0 < overlapped ≤ serial", serial, overlapped)
-	}
-	single, err := eng.PredictTime(512, 512, 512)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if single != serial {
-		t.Errorf("PredictTime = %v, want the serial prediction %v", single, serial)
+	if pred.OverlapTime <= 0 || pred.SerialTime <= 0 || pred.OverlapTime > pred.SerialTime {
+		t.Errorf("Predict = (%v, %v), want 0 < overlapped ≤ serial", pred.SerialTime, pred.OverlapTime)
 	}
 
 	counting, err := NewEngine(WithProcs(16))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := counting.PredictTimes(64, 64, 64); err == nil {
-		t.Error("PredictTimes on a counting engine did not error")
+	if _, err := counting.Predict(context.Background(), 64, 64, 64); err == nil {
+		t.Error("Predict on a counting engine did not error")
 	}
 }
 
